@@ -1,0 +1,79 @@
+// Command dictgen emits reproducible synthetic workloads: a dictionary file
+// (one pattern per line) and a text file, over a chosen alphabet, with
+// matches planted at a chosen density. Companion to cmd/dictmatch and the
+// experiments in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dictgen -patterns 1000 -minlen 4 -maxlen 64 -n 1000000 -alphabet acgt \
+//	        -seed 42 -plant 20 -dict dict.txt -text text.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"pardict/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dictgen: ")
+	var (
+		np       = flag.Int("patterns", 100, "number of patterns")
+		minLen   = flag.Int("minlen", 4, "minimum pattern length")
+		maxLen   = flag.Int("maxlen", 32, "maximum pattern length")
+		n        = flag.Int("n", 1<<20, "text length")
+		alphabet = flag.String("alphabet", "abcdefghijklmnopqrstuvwxyz", "alphabet bytes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		plant    = flag.Int("plant", 10, "planted occurrences per 1000 text positions")
+		dictOut  = flag.String("dict", "dict.txt", "dictionary output file")
+		textOut  = flag.String("text", "text.txt", "text output file")
+	)
+	flag.Parse()
+
+	sigma := len(*alphabet)
+	pats := workload.Dictionary(*seed, *np, *minLen, *maxLen, sigma)
+	text := workload.PlantedText(*seed+1, *n, sigma, pats, *plant)
+
+	df, err := os.Create(*dictOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dw := bufio.NewWriter(df)
+	for _, p := range pats {
+		dw.Write(render(p, *alphabet))
+		dw.WriteByte('\n')
+	}
+	if err := dw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := df.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	tf, err := os.Create(*textOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw := bufio.NewWriter(tf)
+	tw.Write(render(text, *alphabet))
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d patterns to %s and %d bytes of text to %s",
+		len(pats), *dictOut, *n, *textOut)
+}
+
+func render(syms []int32, alphabet string) []byte {
+	out := make([]byte, len(syms))
+	for i, v := range syms {
+		out[i] = alphabet[v]
+	}
+	return out
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+func TestRender(t *testing.T) {
+	got := render([]int32{0, 2, 1, 0}, "acg")
+	if string(got) != "agca" {
+		t.Fatalf("got %q", got)
+	}
+}

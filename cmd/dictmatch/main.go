@@ -1,0 +1,165 @@
+// Command dictmatch matches a dictionary of patterns against text.
+//
+// Patterns are read one per line from -dict; text is read from -text or
+// stdin. For every text position with a match it prints the position and
+// the longest pattern (or all patterns with -all).
+//
+// Usage:
+//
+//	dictmatch -dict patterns.txt [-text input.txt] [-engine auto|general|smallalpha|equallength]
+//	          [-alphabet acgt] [-collapse L] [-procs N] [-all] [-stats] [-count]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"pardict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dictmatch: ")
+	var (
+		dictPath = flag.String("dict", "", "file with one pattern per line (required)")
+		textPath = flag.String("text", "", "text file (default stdin)")
+		engine   = flag.String("engine", "auto", "auto|general|smallalpha|equallength")
+		alphabet = flag.String("alphabet", "", "restrict to this byte alphabet (enables smallalpha)")
+		collapse = flag.Int("collapse", 0, "collapse parameter L for smallalpha (0 = auto)")
+		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
+		all      = flag.Bool("all", false, "print all patterns per position, not just the longest")
+		stats    = flag.Bool("stats", false, "print PRAM work/depth statistics")
+		countOn  = flag.Bool("count", false, "print only the number of matching positions")
+		compile  = flag.String("compile", "", "write the compiled dictionary to this file and exit")
+		load     = flag.String("load", "", "read a compiled dictionary instead of -dict")
+	)
+	flag.Parse()
+	if *dictPath == "" && *load == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var patterns [][]byte
+	var err error
+	if *dictPath != "" {
+		patterns, err = readLines(*dictPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var text []byte
+	if *compile == "" {
+		if *textPath == "" {
+			text, err = io.ReadAll(os.Stdin)
+		} else {
+			text, err = os.ReadFile(*textPath)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	opts := []pardict.Option{pardict.WithParallelism(*procs)}
+	if *compile != "" && *engine == "auto" {
+		*engine = "general" // only the general engine is serializable
+	}
+	switch *engine {
+	case "auto":
+	case "general":
+		opts = append(opts, pardict.WithEngine(pardict.EngineGeneral))
+	case "smallalpha":
+		opts = append(opts, pardict.WithEngine(pardict.EngineSmallAlphabet))
+	case "equallength":
+		opts = append(opts, pardict.WithEngine(pardict.EngineEqualLength))
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	if *alphabet != "" {
+		opts = append(opts, pardict.WithAlphabet([]byte(*alphabet)))
+	}
+	if *collapse > 0 {
+		opts = append(opts, pardict.WithCollapse(*collapse))
+	}
+
+	var m *pardict.Matcher
+	if *load != "" {
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		m, err = pardict.LoadMatcher(f, pardict.WithParallelism(*procs))
+		f.Close()
+	} else {
+		m, err = pardict.NewMatcher(patterns, opts...)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *compile != "" {
+		f, ferr := os.Create(*compile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if err := m.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("compiled %d patterns to %s", m.PatternCount(), *compile)
+		return
+	}
+	r := m.Match(text)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	switch {
+	case *countOn:
+		fmt.Fprintln(w, r.Count())
+	case *all:
+		var buf []int
+		for i := 0; i < r.Len(); i++ {
+			buf = r.All(i, buf[:0])
+			for _, p := range buf {
+				fmt.Fprintf(w, "%d\t%s\n", i, m.Pattern(p))
+			}
+		}
+	default:
+		for i := 0; i < r.Len(); i++ {
+			if p, ok := r.Longest(i); ok {
+				fmt.Fprintf(w, "%d\t%s\n", i, m.Pattern(p))
+			}
+		}
+	}
+	if *stats {
+		b, s := m.BuildStats(), r.Stats()
+		fmt.Fprintf(os.Stderr, "engine=%s procs=%d\n", m.Engine(), s.Procs)
+		fmt.Fprintf(os.Stderr, "preprocess: work=%d depth=%d (M=%d, m=%d)\n",
+			b.Work, b.Depth, m.Size(), m.MaxLen())
+		fmt.Fprintf(os.Stderr, "match:      work=%d depth=%d (n=%d)\n",
+			s.Work, s.Depth, len(text))
+	}
+}
+
+func readLines(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		out = append(out, append([]byte(nil), line...))
+	}
+	return out, sc.Err()
+}

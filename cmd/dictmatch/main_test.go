@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pats.txt")
+	if err := os.WriteFile(path, []byte("abc\n\ndef\nxy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"abc", "def", "xy"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines", len(got))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadLinesMissing(t *testing.T) {
+	if _, err := readLines("/nonexistent/file"); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,70 @@
+// Command dictserve exposes a dictionary matcher as an HTTP service: load a
+// dictionary (plain or compiled) at startup, then POST text to /scan.
+//
+// Endpoints:
+//
+//	POST /scan            body = text; response = JSON match list
+//	POST /scan?mode=count body = text; response = {"count": N}
+//	GET  /healthz         liveness + dictionary metadata
+//
+// Usage:
+//
+//	dictserve -dict patterns.txt [-addr :8844] [-procs N]
+//	dictserve -load compiled.pdm
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+
+	"pardict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dictserve: ")
+	var (
+		dictPath = flag.String("dict", "", "file with one pattern per line")
+		loadPath = flag.String("load", "", "compiled dictionary (see dictmatch -compile)")
+		addr     = flag.String("addr", ":8844", "listen address")
+		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
+		maxBody  = flag.Int64("maxbody", 16<<20, "maximum scan body size in bytes")
+	)
+	flag.Parse()
+
+	m, err := buildMatcher(*dictPath, *loadPath, *procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := newServer(m, *maxBody)
+	log.Printf("serving %d patterns (m=%d, M=%d, engine=%s) on %s",
+		m.PatternCount(), m.MaxLen(), m.Size(), m.Engine(), *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildMatcher(dictPath, loadPath string, procs int) (*pardict.Matcher, error) {
+	switch {
+	case loadPath != "":
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return pardict.LoadMatcher(f, pardict.WithParallelism(procs))
+	case dictPath != "":
+		patterns, err := readLines(dictPath)
+		if err != nil {
+			return nil, err
+		}
+		return pardict.NewMatcher(patterns,
+			pardict.WithParallelism(procs), pardict.WithEngine(pardict.EngineGeneral))
+	default:
+		flag.Usage()
+		os.Exit(2)
+		return nil, nil
+	}
+}

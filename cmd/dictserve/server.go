@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+
+	"pardict"
+)
+
+// server is the HTTP handler wrapping one immutable matcher. Matcher.Match
+// is safe for concurrent use, so no locking is needed.
+type server struct {
+	m       *pardict.Matcher
+	maxBody int64
+	mux     *http.ServeMux
+}
+
+func newServer(m *pardict.Matcher, maxBody int64) *server {
+	s := &server{m: m, maxBody: maxBody, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/scan", s.handleScan)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// scanMatch is one reported occurrence.
+type scanMatch struct {
+	Pos     int    `json:"pos"`
+	Pattern int    `json:"pattern"`
+	Text    string `json:"text"`
+}
+
+type scanResponse struct {
+	Count   int         `json:"count"`
+	Matches []scanMatch `json:"matches,omitempty"`
+}
+
+func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
+		return
+	}
+	res := s.m.Match(body)
+	out := scanResponse{}
+	countOnly := r.URL.Query().Get("mode") == "count"
+	all := r.URL.Query().Get("mode") == "all"
+	var buf []int
+	for i := 0; i < res.Len(); i++ {
+		switch {
+		case all:
+			buf = res.All(i, buf[:0])
+			for _, p := range buf {
+				out.Count++
+				out.Matches = append(out.Matches, scanMatch{
+					Pos: i, Pattern: p, Text: string(s.m.Pattern(p)),
+				})
+			}
+		default:
+			if p, ok := res.Longest(i); ok {
+				out.Count++
+				if !countOnly {
+					out.Matches = append(out.Matches, scanMatch{
+						Pos: i, Pattern: p, Text: string(s.m.Pattern(p)),
+					})
+				}
+			}
+		}
+	}
+	if countOnly {
+		out.Matches = nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+type healthResponse struct {
+	OK       bool   `json:"ok"`
+	Patterns int    `json:"patterns"`
+	MaxLen   int    `json:"max_len"`
+	Size     int    `json:"size"`
+	Engine   string `json:"engine"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(healthResponse{
+		OK:       true,
+		Patterns: s.m.PatternCount(),
+		MaxLen:   s.m.MaxLen(),
+		Size:     s.m.Size(),
+		Engine:   s.m.Engine().String(),
+	})
+}
+
+func readLines(path string) ([][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		out = append(out, append([]byte(nil), line...))
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"pardict"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	m, err := pardict.NewMatcher([][]byte{
+		[]byte("he"), []byte("she"), []byte("his"), []byte("hers"),
+	}, pardict.WithEngine(pardict.EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(m, 1<<20)
+}
+
+func TestScanEndpoint(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("ushers"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var res scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 || len(res.Matches) != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Matches[0].Pos != 1 || res.Matches[0].Text != "she" {
+		t.Fatalf("first match = %+v", res.Matches[0])
+	}
+	if res.Matches[1].Pos != 2 || res.Matches[1].Text != "hers" {
+		t.Fatalf("second match = %+v", res.Matches[1])
+	}
+}
+
+func TestScanCountMode(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/scan?mode=count", strings.NewReader("ushers"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var res scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 || res.Matches != nil {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScanAllMode(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/scan?mode=all", strings.NewReader("ushers"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var res scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	// she@1; hers@2 and he@2.
+	if res.Count != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScanMethodNotAllowed(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/scan", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestScanBodyLimit(t *testing.T) {
+	m, err := pardict.NewMatcher([][]byte{[]byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(m, 8)
+	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("this body is way beyond eight bytes"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	var res healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Patterns != 4 || res.MaxLen != 4 || res.Size != 12 || res.Engine != "general" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestConcurrentScans(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("she sells hers"))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			var res scanResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Count != 3 { // she@0 (and he@1), hers@10
+				t.Errorf("count = %d", res.Count)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBuildMatcherFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	dictPath := filepath.Join(dir, "d.txt")
+	if err := os.WriteFile(dictPath, []byte("abc\ndef\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := buildMatcher(dictPath, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PatternCount() != 2 {
+		t.Fatalf("patterns = %d", m.PatternCount())
+	}
+	// Compiled round-trip through buildMatcher's load path.
+	binPath := filepath.Join(dir, "d.pdm")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	m2, err := buildMatcher("", binPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.PatternCount() != 2 {
+		t.Fatalf("loaded patterns = %d", m2.PatternCount())
+	}
+}

@@ -1,0 +1,161 @@
+package pardict
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestContains(t *testing.T) {
+	m, err := NewMatcher(bs("needle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Contains([]byte("haystack with a needle inside")) {
+		t.Fatal("missed")
+	}
+	if m.Contains([]byte("haystack only")) {
+		t.Fatal("false positive")
+	}
+	if m.Contains(nil) {
+		t.Fatal("empty text matched")
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	m, err := NewMatcher(bs("na", "banana", "an"), WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := m.FindAll([]byte("banana"))
+	type o struct {
+		pos, pat int
+	}
+	var got []o
+	for _, x := range occ {
+		got = append(got, o{x.Pos, x.Pattern})
+	}
+	want := []o{{0, 1}, {1, 2}, {2, 0}, {3, 2}, {4, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestBuildStatsReported(t *testing.T) {
+	m, err := NewMatcher(bs("alpha", "beta", "gamma!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.BuildStats()
+	if st.Work <= 0 || st.Depth <= 0 || st.Procs <= 0 {
+		t.Fatalf("build stats empty: %+v", st)
+	}
+}
+
+func TestPrefixLenUnsupportedEngines(t *testing.T) {
+	m, err := NewMatcher(bs("aa", "bb")) // auto → equal-length
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Match([]byte("aabb"))
+	if _, ok := r.PrefixLen(0); ok {
+		t.Fatal("PrefixLen must be unsupported on the equal-length engine")
+	}
+}
+
+func TestDynamicDeleteEncodingError(t *testing.T) {
+	m, err := NewDynamicMatcher(WithAlphabet([]byte("ab")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Insert([]byte("xz")); err == nil {
+		t.Fatal("out-of-alphabet insert accepted")
+	}
+	if err := m.Delete([]byte("xz")); err == nil {
+		t.Fatal("out-of-alphabet delete accepted")
+	}
+	if m.Has([]byte("xz")) {
+		t.Fatal("Has on out-of-alphabet must be false")
+	}
+	if _, err := m.Insert([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has([]byte("ab")) {
+		t.Fatal("Has missed live pattern")
+	}
+}
+
+func TestSaveToFailingWriter(t *testing.T) {
+	m, err := NewMatcher(bs("hello", "hellox"), WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < 200; limit += 13 {
+		w := &limitedWriter{limit: limit}
+		if err := m.Save(w); err == nil {
+			// Small dictionaries may fit under larger limits; only tiny
+			// limits must certainly fail.
+			if limit < 16 {
+				t.Fatalf("limit %d: expected write failure", limit)
+			}
+		}
+	}
+}
+
+type limitedWriter struct{ limit, n int }
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		can := w.limit - w.n
+		if can < 0 {
+			can = 0
+		}
+		w.n += can
+		return can, bytes.ErrTooLarge
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+func TestAutoCollapseBinary(t *testing.T) {
+	if autoCollapseBinary(1, 8) != 1 {
+		t.Fatal("tiny m")
+	}
+	if autoCollapseBinary(1024, 0) != 1 {
+		t.Fatal("zero bits")
+	}
+	if got := autoCollapseBinary(1024, 2); got != 5 {
+		t.Fatalf("log2(1024)/2 = %d, want 5", got)
+	}
+	if autoCollapseBinary(16, 8) != 1 {
+		t.Fatal("floor to 1")
+	}
+}
+
+func TestBinaryExpansionAutoL(t *testing.T) {
+	// No WithCollapse: the auto binary L = log2(m)/bits path.
+	pats := bs("acgtacgtacgtacgt", "ttttacgt")
+	m, err := NewMatcher(pats, WithEngine(EngineSmallAlphabet),
+		WithAlphabet([]byte("acgt")), WithBinaryExpansion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("xxacgtacgtacgtacgtxttttacgt")
+	r := m.Match(text)
+	if p, ok := r.Longest(2); !ok || p != 0 {
+		t.Fatalf("at 2: %d %v", p, ok)
+	}
+	if p, ok := r.Longest(19); !ok || p != 1 {
+		t.Fatalf("at 19: %d %v", p, ok)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	if _, err := NewMatcher(bs("a"), WithEngine(Engine(42))); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}

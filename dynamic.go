@@ -1,0 +1,96 @@
+package pardict
+
+import (
+	"pardict/internal/alpha"
+	"pardict/internal/dynamic"
+)
+
+// PatternID identifies a pattern inside a DynamicMatcher. IDs are assigned
+// by Insert and remain stable across internal rebuilds.
+type PatternID int32
+
+// DynamicMatcher is the fully dynamic dictionary of §6 (Theorems 7–10):
+// patterns can be inserted and deleted on-line, and Match always reflects
+// exactly the live set. Insert/Delete must be serialized by the caller;
+// Match performs no mutation.
+type DynamicMatcher struct {
+	cfg *config
+	enc *alpha.Encoder
+	d   *dynamic.Dict
+}
+
+// NewDynamicMatcher returns an empty dynamic dictionary.
+func NewDynamicMatcher(opts ...Option) (*DynamicMatcher, error) {
+	cfg := buildConfig(opts)
+	enc, err := cfg.encoder()
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicMatcher{cfg: cfg, enc: enc, d: dynamic.New()}, nil
+}
+
+// Insert adds pattern p in O(λ·log M) work and returns its id.
+func (m *DynamicMatcher) Insert(p []byte) (PatternID, error) {
+	e, err := m.enc.EncodePattern(p)
+	if err != nil {
+		return 0, err
+	}
+	id, err := m.d.Insert(m.cfg.newCtx(), e)
+	return PatternID(id), err
+}
+
+// Delete removes pattern p (by content) in O(λ·log M) amortized work.
+func (m *DynamicMatcher) Delete(p []byte) error {
+	e, err := m.enc.EncodePattern(p)
+	if err != nil {
+		return err
+	}
+	return m.d.Delete(m.cfg.newCtx(), e)
+}
+
+// Has reports whether p is currently in the dictionary.
+func (m *DynamicMatcher) Has(p []byte) bool {
+	e, err := m.enc.EncodePattern(p)
+	if err != nil {
+		return false
+	}
+	return m.d.Has(e)
+}
+
+// Len reports the number of live patterns.
+func (m *DynamicMatcher) Len() int { return m.d.LiveCount() }
+
+// Size reports M, the total size of live patterns.
+func (m *DynamicMatcher) Size() int { return m.d.LiveSize() }
+
+// DynamicMatches is the per-position result of a dynamic Match.
+type DynamicMatches struct {
+	pat   []int32
+	plen  []int32
+	stats Stats
+}
+
+// Match scans text against the live dictionary (Theorem 8/10: O(n·log M)
+// work, O(log M) depth).
+func (m *DynamicMatcher) Match(text []byte) *DynamicMatches {
+	ctx := m.cfg.newCtx()
+	r := m.d.Match(ctx, m.enc.Encode(text))
+	return &DynamicMatches{pat: r.Pat, plen: r.Len, stats: statsOf(ctx)}
+}
+
+// Len reports the text length covered.
+func (r *DynamicMatches) Len() int { return len(r.pat) }
+
+// Longest returns the id of the longest live pattern starting at position
+// i, and whether any matches.
+func (r *DynamicMatches) Longest(i int) (PatternID, bool) {
+	p := r.pat[i]
+	return PatternID(p), p >= 0
+}
+
+// PrefixLen reports the longest live-dictionary prefix length at position i
+// (the §6 prefix-matching output, Theorems 7/9).
+func (r *DynamicMatches) PrefixLen(i int) int { return int(r.plen[i]) }
+
+// Stats reports the instrumented cost of the Match call.
+func (r *DynamicMatches) Stats() Stats { return r.stats }

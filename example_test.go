@@ -1,0 +1,135 @@
+package pardict_test
+
+import (
+	"fmt"
+	"strings"
+
+	"pardict"
+)
+
+func ExampleNewMatcher() {
+	m, err := pardict.NewMatcher([][]byte{
+		[]byte("he"), []byte("she"), []byte("his"), []byte("hers"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	r := m.Match([]byte("ushers"))
+	for i := 0; i < r.Len(); i++ {
+		if p, ok := r.Longest(i); ok {
+			fmt.Printf("%d: %s\n", i, m.Pattern(p))
+		}
+	}
+	// Output:
+	// 1: she
+	// 2: hers
+}
+
+func ExampleMatches_All() {
+	m, _ := pardict.NewMatcher([][]byte{
+		[]byte("a"), []byte("ab"), []byte("abc"),
+	})
+	r := m.Match([]byte("abc"))
+	for _, p := range r.All(0, nil) {
+		fmt.Println(string(m.Pattern(p)))
+	}
+	// Output:
+	// abc
+	// ab
+	// a
+}
+
+func ExampleMatcher_FindAll() {
+	m, _ := pardict.NewMatcher([][]byte{[]byte("na"), []byte("banana")})
+	for _, occ := range m.FindAll([]byte("banana")) {
+		fmt.Printf("%d: %s\n", occ.Pos, m.Pattern(occ.Pattern))
+	}
+	// Output:
+	// 0: banana
+	// 2: na
+	// 4: na
+}
+
+func ExampleMatcher_Stream() {
+	m, _ := pardict.NewMatcher([][]byte{[]byte("needle")})
+	s := m.Stream(func(pos int64, pat int) {
+		fmt.Printf("found %q at %d\n", m.Pattern(pat), pos)
+	})
+	// The match spans the chunk boundary.
+	s.Feed([]byte("hay nee"))
+	s.Feed([]byte("dle hay"))
+	s.Close()
+	// Output:
+	// found "needle" at 4
+}
+
+func ExampleNewDynamicMatcher() {
+	m, _ := pardict.NewDynamicMatcher()
+	m.Insert([]byte("spam"))
+	m.Insert([]byte("scam"))
+
+	count := func(text string) int {
+		r := m.Match([]byte(text))
+		n := 0
+		for i := 0; i < r.Len(); i++ {
+			if _, ok := r.Longest(i); ok {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Println(count("spam or scam"))
+	m.Delete([]byte("scam"))
+	fmt.Println(count("spam or scam"))
+	// Output:
+	// 2
+	// 1
+}
+
+func ExampleNewMatcher2D() {
+	glyph := [][]byte{
+		[]byte("##"),
+		[]byte("##"),
+	}
+	m, _ := pardict.NewMatcher2D([][][]byte{glyph})
+	screen := [][]byte{
+		[]byte("..##"),
+		[]byte("..##"),
+		[]byte("...."),
+	}
+	r, _ := m.Match2D(screen)
+	for i := range screen {
+		for j := range screen[i] {
+			if _, ok := r.Largest(i, j); ok {
+				fmt.Printf("glyph at (%d,%d)\n", i, j)
+			}
+		}
+	}
+	// Output:
+	// glyph at (0,2)
+}
+
+func ExampleWithEngine() {
+	motifs := [][]byte{[]byte("acgt"), []byte("gatt")}
+	m, _ := pardict.NewMatcher(motifs,
+		pardict.WithEngine(pardict.EngineSmallAlphabet),
+		pardict.WithAlphabet([]byte("acgt")),
+		pardict.WithCollapse(2),
+	)
+	r := m.Match([]byte("gattacagt"))
+	fmt.Println(m.Engine(), r.Count())
+	// Output:
+	// smallalpha 1
+}
+
+func ExampleMatcher_MatchReader() {
+	m, _ := pardict.NewMatcher([][]byte{[]byte("lazy"), []byte("dog")})
+	var found []string
+	m.MatchReader(strings.NewReader("the quick brown fox jumps over the lazy dog"), 8,
+		func(pos int64, pat int) {
+			found = append(found, string(m.Pattern(pat)))
+		})
+	fmt.Println(strings.Join(found, ","))
+	// Output:
+	// lazy,dog
+}

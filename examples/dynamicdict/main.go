@@ -1,0 +1,81 @@
+// Online content filter: a moderation word-list that changes while traffic
+// flows — insertions and deletions interleaved with matching, the §6 fully
+// dynamic dictionary (Theorems 7–10).
+//
+// Run with: go run ./examples/dynamicdict
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pardict"
+)
+
+func main() {
+	m, err := pardict.NewDynamicMatcher()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scan := func(msg string) {
+		r := m.Match([]byte(msg))
+		flagged := false
+		for i := 0; i < r.Len(); i++ {
+			if _, ok := r.Longest(i); ok {
+				flagged = true
+				break
+			}
+		}
+		verdict := "ok     "
+		if flagged {
+			verdict = "FLAGGED"
+		}
+		fmt.Printf("  [%s] %q  (dictionary: %d terms)\n", verdict, msg, m.Len())
+	}
+
+	fmt.Println("phase 1: initial blocklist {spam, scam}")
+	for _, w := range []string{"spam", "scam"} {
+		if _, err := m.Insert([]byte(w)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	scan("totally legitimate offer")
+	scan("this is spam honestly")
+
+	fmt.Println("phase 2: policy update adds {crypto airdrop, free money}")
+	for _, w := range []string{"crypto airdrop", "free money"} {
+		if _, err := m.Insert([]byte(w)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	scan("claim your crypto airdrop now")
+	scan("free monet (typo, fine)")
+
+	fmt.Println("phase 3: appeal succeeds — 'scam' is removed")
+	if err := m.Delete([]byte("scam")); err != nil {
+		log.Fatal(err)
+	}
+	scan("that deal was a scam")
+	scan("this is spam honestly")
+
+	fmt.Println("phase 4: re-adding 'scam' restores detection")
+	if _, err := m.Insert([]byte("scam")); err != nil {
+		log.Fatal(err)
+	}
+	scan("that deal was a scam")
+
+	r := m.Match([]byte("spam and free money and crypto airdrop"))
+	fmt.Printf("final sweep: matched %d positions, stats: work=%d depth=%d\n",
+		count(r), r.Stats().Work, r.Stats().Depth)
+}
+
+func count(r *pardict.DynamicMatches) int {
+	n := 0
+	for i := 0; i < r.Len(); i++ {
+		if _, ok := r.Longest(i); ok {
+			n++
+		}
+	}
+	return n
+}

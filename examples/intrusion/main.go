@@ -1,0 +1,82 @@
+// Intrusion-detection example: scan synthetic network payloads against a
+// bank of attack signatures of mixed lengths — the workload the paper's
+// introduction motivates (many patterns, streamed text, all matches wanted).
+//
+// Run with: go run ./examples/intrusion
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pardict"
+)
+
+// signatures are byte-string indicators of compromise (synthetic but shaped
+// like the real thing: mixed lengths, shared prefixes, binary and text).
+var signatures = [][]byte{
+	[]byte("GET /etc/passwd"),
+	[]byte("GET /etc/shadow"),
+	[]byte("' OR 1=1 --"),
+	[]byte("<script>"),
+	[]byte("<script>alert("),
+	[]byte("../../.."),
+	[]byte("cmd.exe"),
+	[]byte("/bin/sh"),
+	[]byte("\x90\x90\x90\x90\x90\x90\x90\x90"), // NOP sled
+	[]byte("\xde\xad\xbe\xef"),
+	[]byte("SELECT * FROM"),
+	[]byte("UNION SELECT"),
+	[]byte("eval(base64_decode("),
+	[]byte("wget http://"),
+	[]byte("chmod 777"),
+}
+
+func main() {
+	m, err := pardict.NewMatcher(signatures)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthesize payload traffic with attacks injected.
+	rng := rand.New(rand.NewSource(7))
+	var traffic []byte
+	var injected int
+	for pkt := 0; pkt < 200; pkt++ {
+		n := 64 + rng.Intn(512)
+		body := make([]byte, n)
+		for i := range body {
+			body[i] = byte(33 + rng.Intn(90))
+		}
+		if rng.Intn(4) == 0 { // 25% of packets carry an attack
+			sig := signatures[rng.Intn(len(signatures))]
+			copy(body[rng.Intn(n-len(sig)):], sig)
+			injected++
+		}
+		traffic = append(traffic, body...)
+	}
+
+	r := m.Match(traffic)
+	fmt.Printf("scanned %d bytes of traffic against %d signatures (engine=%s)\n",
+		len(traffic), m.PatternCount(), m.Engine())
+	fmt.Printf("injected %d attacks\n", injected)
+
+	hits := map[string]int{}
+	var buf []int
+	for i := 0; i < r.Len(); i++ {
+		buf = r.All(i, buf[:0])
+		for _, p := range buf {
+			hits[string(m.Pattern(p))]++
+		}
+	}
+	fmt.Println("detections:")
+	for _, sig := range signatures {
+		if c := hits[string(sig)]; c > 0 {
+			fmt.Printf("  %6d × %q\n", c, sig)
+		}
+	}
+	s := r.Stats()
+	fmt.Printf("stats: work/byte = %.1f, depth = %d\n",
+		float64(s.Work)/float64(len(traffic)), s.Depth)
+}

@@ -1,0 +1,94 @@
+// Streaming log scanner: watch an unbounded stream for indicator strings
+// using the incremental Stream API — matches are reported with absolute
+// stream offsets the moment they are final, even when they straddle chunk
+// boundaries. This is the deployment shape of dictionary matching inside
+// log shippers and IDS pipelines.
+//
+// Run with: go run ./examples/logscan
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pardict"
+)
+
+var indicators = [][]byte{
+	[]byte("ERROR"),
+	[]byte("FATAL"),
+	[]byte("panic:"),
+	[]byte("OutOfMemory"),
+	[]byte("connection refused"),
+	[]byte("permission denied"),
+	[]byte("segfault"),
+}
+
+func main() {
+	m, err := pardict.NewMatcher(indicators)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a log producer emitting irregular chunks.
+	lines := []string{
+		"INFO  boot sequence complete",
+		"WARN  disk 87% full",
+		"ERROR failed to open /var/db: permission denied",
+		"INFO  retrying",
+		"FATAL OutOfMemory while loading index",
+		"INFO  shutting down",
+		"panic: runtime error: segfault at 0x0",
+	}
+	var stream []byte
+	for _, l := range lines {
+		stream = append(stream, l...)
+		stream = append(stream, '\n')
+	}
+
+	type alert struct {
+		off  int64
+		what string
+	}
+	var alerts []alert
+	s := m.Stream(func(pos int64, pat int) {
+		alerts = append(alerts, alert{pos, string(m.Pattern(pat))})
+	})
+
+	rng := rand.New(rand.NewSource(1))
+	fed := 0
+	chunks := 0
+	for fed < len(stream) {
+		n := 1 + rng.Intn(23) // deliberately tiny, misaligned chunks
+		if fed+n > len(stream) {
+			n = len(stream) - fed
+		}
+		if err := s.Feed(stream[fed : fed+n]); err != nil {
+			log.Fatal(err)
+		}
+		fed += n
+		chunks++
+	}
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scanned %d bytes in %d chunks (%d indicators, engine=%s)\n",
+		len(stream), chunks, m.PatternCount(), m.Engine())
+	for _, a := range alerts {
+		// Recover the line containing the alert for context.
+		lineStart := a.off
+		for lineStart > 0 && stream[lineStart-1] != '\n' {
+			lineStart--
+		}
+		lineEnd := a.off
+		for int(lineEnd) < len(stream) && stream[lineEnd] != '\n' {
+			lineEnd++
+		}
+		fmt.Printf("  offset %3d  %-20q  line: %s\n", a.off, a.what, stream[lineStart:lineEnd])
+	}
+	if len(alerts) != 6 {
+		log.Fatalf("expected 6 alerts, got %d", len(alerts))
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: build a static dictionary, match a text, inspect results.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pardict"
+)
+
+func main() {
+	// The classic Aho–Corasick example dictionary.
+	patterns := [][]byte{
+		[]byte("he"), []byte("she"), []byte("his"), []byte("hers"),
+	}
+	m, err := pardict.NewMatcher(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dictionary: %d patterns, M=%d, m=%d, engine=%s\n",
+		m.PatternCount(), m.Size(), m.MaxLen(), m.Engine())
+
+	text := []byte("ushers said she heard his hers")
+	r := m.Match(text)
+
+	fmt.Printf("text: %q\n", text)
+	for i := 0; i < r.Len(); i++ {
+		if p, ok := r.Longest(i); ok {
+			fmt.Printf("  pos %2d: longest %q", i, m.Pattern(p))
+			if all := r.All(i, nil); len(all) > 1 {
+				fmt.Printf(" (all:")
+				for _, q := range all {
+					fmt.Printf(" %q", m.Pattern(q))
+				}
+				fmt.Print(")")
+			}
+			fmt.Println()
+		}
+	}
+	s := r.Stats()
+	fmt.Printf("stats: %d work, %d depth on %d procs (n=%d, so work/n=%.1f ~ 2·log2 m)\n",
+		s.Work, s.Depth, s.Procs, len(text), float64(s.Work)/float64(len(text)))
+}

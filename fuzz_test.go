@@ -1,0 +1,123 @@
+package pardict
+
+import (
+	"bytes"
+	"testing"
+
+	"pardict/internal/ahocorasick"
+	"pardict/internal/workload"
+)
+
+// FuzzMatchOracle decodes fuzz input as (dictionary ‖ 0xFF ‖ text) with
+// 0xFE-separated patterns and differentially tests every applicable engine
+// against Aho–Corasick. `go test` runs the seed corpus; `go test -fuzz
+// FuzzMatchOracle` explores further.
+func FuzzMatchOracle(f *testing.F) {
+	f.Add([]byte("he\xfeshe\xfehis\xfehers\xffushers"))
+	f.Add([]byte("a\xfeaa\xfeaaa\xffaaaaaaa"))
+	f.Add([]byte("ab\xfeba\xffabbaabba"))
+	f.Add([]byte("\xfe\xff"))
+	f.Add([]byte("x\xff"))
+	f.Add([]byte("abc\xffabcabc"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sep := bytes.IndexByte(data, 0xFF)
+		if sep < 0 {
+			return
+		}
+		rawPats := bytes.Split(data[:sep], []byte{0xFE})
+		text := data[sep+1:]
+		seen := map[string]bool{}
+		var pats [][]byte
+		for _, p := range rawPats {
+			if len(p) == 0 || len(p) > 64 || seen[string(p)] {
+				continue
+			}
+			if bytes.IndexByte(p, 0xFF) >= 0 || bytes.IndexByte(p, 0xFE) >= 0 {
+				continue
+			}
+			seen[string(p)] = true
+			pats = append(pats, p)
+			if len(pats) == 16 {
+				break
+			}
+		}
+		if len(pats) == 0 || len(text) > 4096 {
+			return
+		}
+
+		ip := make([][]int32, len(pats))
+		equalLen := true
+		for i, p := range pats {
+			ip[i] = workload.FromBytes(p)
+			if len(p) != len(pats[0]) {
+				equalLen = false
+			}
+		}
+		ac, err := ahocorasick.New(ip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ac.LongestMatchStarting(workload.FromBytes(text))
+
+		engines := [][]Option{
+			{WithEngine(EngineGeneral)},
+			{WithEngine(EngineSmallAlphabet), WithCollapse(2)},
+			{WithEngine(EngineSmallAlphabet), WithBinaryExpansion(), WithCollapse(3)},
+		}
+		if equalLen {
+			engines = append(engines, []Option{WithEngine(EngineEqualLength)})
+		}
+		for ei, opts := range engines {
+			m, err := NewMatcher(pats, opts...)
+			if err != nil {
+				t.Fatalf("engine %d: %v", ei, err)
+			}
+			r := m.Match(text)
+			for j := range text {
+				p, ok := r.Longest(j)
+				w := want[j]
+				if (w >= 0) != ok || (ok && int32(p) != w) {
+					t.Fatalf("engine %d pos %d: got %d,%v want %d (pats=%q text=%q)",
+						ei, j, p, ok, w, pats, text)
+				}
+			}
+		}
+	})
+}
+
+// FuzzStream checks that arbitrary chunkings of arbitrary text produce the
+// same matches as whole-text matching.
+func FuzzStream(f *testing.F) {
+	f.Add([]byte("abcabcab"), uint8(3))
+	f.Add([]byte("xxxxxxxxxx"), uint8(1))
+	f.Fuzz(func(t *testing.T, text []byte, chunk uint8) {
+		if len(text) > 2048 {
+			return
+		}
+		m, err := NewMatcher([][]byte{[]byte("ab"), []byte("abca"), []byte("x")},
+			WithEngine(EngineGeneral))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wholeTextHits(m, text)
+		var got []hit
+		s := m.Stream(func(pos int64, pat int) { got = append(got, hit{pos, pat}) })
+		step := int(chunk%32) + 1
+		for at := 0; at < len(text); at += step {
+			end := at + step
+			if end > len(text) {
+				end = len(text)
+			}
+			if err := s.Feed(text[at:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !sameHits(got, want) {
+			t.Fatalf("stream %v != whole %v", got, want)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module pardict
+
+go 1.22

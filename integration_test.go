@@ -1,0 +1,279 @@
+package pardict
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pardict/internal/ahocorasick"
+	"pardict/internal/workload"
+)
+
+// TestAllEnginesAgreeWithAhoCorasick is the system-level oracle check: every
+// engine must produce the identical longest-match output as the sequential
+// Aho–Corasick automaton on sizeable randomized inputs.
+func TestAllEnginesAgreeWithAhoCorasick(t *testing.T) {
+	const sigma = 4
+	letters := []byte("acgt")
+	for _, tc := range []struct {
+		name   string
+		np     int
+		minLen int
+		maxLen int
+		n      int
+	}{
+		{"mixed", 64, 1, 48, 1 << 14},
+		{"long", 16, 100, 300, 1 << 14},
+		{"short", 128, 1, 4, 1 << 13},
+		{"single", 1, 20, 20, 1 << 12},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ip := workload.Dictionary(7, tc.np, tc.minLen, tc.maxLen, sigma)
+			pats := make([][]byte, len(ip))
+			for i, p := range ip {
+				b := make([]byte, len(p))
+				for j, v := range p {
+					b[j] = letters[v]
+				}
+				pats[i] = b
+			}
+			it := workload.PlantedText(8, tc.n, sigma, ip, 20)
+			text := make([]byte, len(it))
+			for i, v := range it {
+				text[i] = letters[v]
+			}
+
+			ac, err := ahocorasick.New(ip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ac.LongestMatchStarting(it)
+
+			engines := []struct {
+				name string
+				opts []Option
+			}{
+				{"general", []Option{WithEngine(EngineGeneral)}},
+				{"smallalpha-L2", []Option{WithEngine(EngineSmallAlphabet), WithAlphabet(letters), WithCollapse(2)}},
+				{"smallalpha-auto", []Option{WithEngine(EngineSmallAlphabet), WithAlphabet(letters)}},
+				{"binary", []Option{WithEngine(EngineSmallAlphabet), WithAlphabet(letters), WithBinaryExpansion()}},
+			}
+			if tc.minLen == tc.maxLen {
+				engines = append(engines, struct {
+					name string
+					opts []Option
+				}{"equallength", []Option{WithEngine(EngineEqualLength)}})
+			}
+			for _, eng := range engines {
+				m, err := NewMatcher(pats, eng.opts...)
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				r := m.Match(text)
+				for j := range text {
+					p, ok := r.Longest(j)
+					w := want[j]
+					if (w >= 0) != ok || (ok && int32(p) != w) {
+						// Equal-length duplicates cannot occur (workload is
+						// distinct), so indices must agree exactly.
+						t.Fatalf("%s: pos %d: got %d,%v want %d", eng.name, j, p, ok, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllMatchesAgainstAhoCorasick verifies the all-matches expansion
+// against AC occurrence enumeration on a dictionary rich in nested prefixes.
+func TestAllMatchesAgainstAhoCorasick(t *testing.T) {
+	pats := [][]byte{
+		[]byte("a"), []byte("ab"), []byte("aba"), []byte("abab"),
+		[]byte("b"), []byte("ba"), []byte("bab"),
+	}
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	text := make([]byte, 4000)
+	for i := range text {
+		text[i] = "ab"[rng.Intn(2)]
+	}
+	r := m.Match(text)
+
+	ip := make([][]int32, len(pats))
+	for i, p := range pats {
+		ip[i] = workload.FromBytes(p)
+	}
+	ac, err := ahocorasick.New(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int]map[int]bool) // pos -> set of patterns
+	ac.AllMatches(workload.FromBytes(text), func(start int, pat int32) {
+		if want[start] == nil {
+			want[start] = map[int]bool{}
+		}
+		want[start][int(pat)] = true
+	})
+
+	var buf []int
+	for j := range text {
+		buf = r.All(j, buf[:0])
+		if len(buf) != len(want[j]) {
+			t.Fatalf("pos %d: got %d matches, want %d", j, len(buf), len(want[j]))
+		}
+		prevLen := 1 << 30
+		for _, p := range buf {
+			if !want[j][p] {
+				t.Fatalf("pos %d: spurious pattern %d", j, p)
+			}
+			if len(pats[p]) >= prevLen {
+				t.Fatalf("pos %d: not in decreasing length order", j)
+			}
+			prevLen = len(pats[p])
+		}
+	}
+}
+
+// TestConcurrentMatch exercises the documented thread-safety of Match under
+// the race detector.
+func TestConcurrentMatch(t *testing.T) {
+	ip := workload.Dictionary(11, 32, 2, 32, 8)
+	pats := make([][]byte, len(ip))
+	for i, p := range ip {
+		pats[i] = workload.Bytes(p)
+	}
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := make([][]byte, 8)
+	for i := range texts {
+		texts[i] = workload.Bytes(workload.PlantedText(int64(i), 5000, 8, ip, 30))
+	}
+	ref := make([]*Matches, len(texts))
+	for i, tx := range texts {
+		ref[i] = m.Match(tx)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := texts[g%len(texts)]
+			r := m.Match(tx)
+			for j := range tx {
+				p1, ok1 := r.Longest(j)
+				p2, ok2 := ref[g%len(texts)].Longest(j)
+				if p1 != p2 || ok1 != ok2 {
+					t.Errorf("goroutine %d: divergent result at %d", g, j)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestDynamicEquivalentToStaticRebuild: after any operation sequence, the
+// dynamic matcher must agree with a static matcher over the live set.
+func TestDynamicEquivalentToStaticRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	dm, err := NewDynamicMatcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]PatternID{}
+	names := map[PatternID]string{}
+	alphabet := []byte("xyz")
+	randPat := func() []byte {
+		l := 1 + rng.Intn(10)
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(3)]
+		}
+		return b
+	}
+	for op := 0; op < 300; op++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			p := randPat()
+			if _, ok := live[string(p)]; ok {
+				continue
+			}
+			id, err := dm.Insert(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live[string(p)] = id
+			names[id] = string(p)
+		} else {
+			for s, id := range live {
+				if err := dm.Delete([]byte(s)); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, s)
+				delete(names, id)
+				break
+			}
+		}
+		if op%25 != 24 {
+			continue
+		}
+		var pats [][]byte
+		for s := range live {
+			pats = append(pats, []byte(s))
+		}
+		text := make([]byte, 500)
+		for i := range text {
+			text[i] = alphabet[rng.Intn(3)]
+		}
+		rd := dm.Match(text)
+		if len(pats) == 0 {
+			continue
+		}
+		sm, err := NewMatcher(pats, WithEngine(EngineGeneral))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := sm.Match(text)
+		for j := range text {
+			pd, okd := rd.Longest(j)
+			ps, oks := rs.Longest(j)
+			if okd != oks {
+				t.Fatalf("op %d pos %d: dynamic %v static %v", op, j, okd, oks)
+			}
+			if okd {
+				// Compare by content (ids differ between the two worlds).
+				if names[pd] != string(sm.Pattern(ps)) {
+					t.Fatalf("op %d pos %d: dynamic matched %q, static %q",
+						op, j, names[pd], sm.Pattern(ps))
+				}
+			}
+		}
+	}
+}
+
+// TestBinaryExpansionOption checks the Theorem 5 public path end to end.
+func TestBinaryExpansionOption(t *testing.T) {
+	pats := [][]byte{[]byte("gattaca"), []byte("tac"), []byte("aa")}
+	plain, err := NewMatcher(pats, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := NewMatcher(pats, WithEngine(EngineSmallAlphabet),
+		WithAlphabet([]byte("acgt")), WithBinaryExpansion(), WithCollapse(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("gattacaataccaagattaca")
+	rp, rb := plain.Match(text), bin.Match(text)
+	for j := range text {
+		p1, ok1 := rp.Longest(j)
+		p2, ok2 := rb.Longest(j)
+		if ok1 != ok2 || (ok1 && p1 != p2) {
+			t.Fatalf("pos %d: plain %d,%v binary %d,%v", j, p1, ok1, p2, ok2)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package ahocorasick implements the classical sequential dictionary-
+// matching automaton of Aho & Corasick (CACM 1975) over int32 symbols.
+//
+// It is the paper's sequential yardstick: O(n + M) time, which defines
+// "optimal speedup" for the parallel algorithms (§1), and the correctness
+// oracle for the engines on large randomized inputs.
+package ahocorasick
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrEmptyPattern reports a zero-length pattern.
+var ErrEmptyPattern = errors.New("ahocorasick: empty pattern")
+
+type node struct {
+	next    map[int32]int32 // goto function
+	fail    int32           // failure link
+	out     int32           // pattern ending exactly here, or -1
+	outLink int32           // nearest node on the failure chain with out >= 0, or -1
+	depth   int32
+}
+
+// Automaton is a built Aho–Corasick machine. It is immutable after New and
+// safe for concurrent use.
+type Automaton struct {
+	nodes    []node
+	patterns [][]int32
+}
+
+// New builds the automaton for the given patterns. Duplicate patterns keep
+// the first index (consistent with the engines rejecting duplicates; the
+// oracle tolerates them for robustness).
+func New(patterns [][]int32) (*Automaton, error) {
+	a := &Automaton{patterns: patterns}
+	a.nodes = append(a.nodes, node{next: map[int32]int32{}, fail: 0, out: -1, outLink: -1})
+	for pi, p := range patterns {
+		if len(p) == 0 {
+			return nil, ErrEmptyPattern
+		}
+		cur := int32(0)
+		for _, s := range p {
+			nxt, ok := a.nodes[cur].next[s]
+			if !ok {
+				nxt = int32(len(a.nodes))
+				a.nodes = append(a.nodes, node{
+					next: map[int32]int32{}, out: -1, outLink: -1,
+					depth: a.nodes[cur].depth + 1,
+				})
+				a.nodes[cur].next[s] = nxt
+			}
+			cur = nxt
+		}
+		if a.nodes[cur].out < 0 {
+			a.nodes[cur].out = int32(pi)
+		}
+	}
+	a.buildFailure()
+	return a, nil
+}
+
+// buildFailure computes failure and output links in BFS order.
+func (a *Automaton) buildFailure() {
+	queue := make([]int32, 0, len(a.nodes))
+	for _, v := range sortedChildren(a.nodes[0].next) {
+		a.nodes[v].fail = 0
+		queue = append(queue, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		un := &a.nodes[u]
+		if f := un.fail; a.nodes[f].out >= 0 {
+			un.outLink = f
+		} else {
+			un.outLink = a.nodes[f].outLink
+		}
+		for _, s := range sortedKeys(un.next) {
+			v := un.next[s]
+			f := un.fail
+			for f != 0 {
+				if w, ok := a.nodes[f].next[s]; ok {
+					f = w
+					goto set
+				}
+				f = a.nodes[f].fail
+			}
+			if w, ok := a.nodes[0].next[s]; ok && w != v {
+				f = w
+			} else {
+				f = 0
+			}
+		set:
+			a.nodes[v].fail = f
+			queue = append(queue, v)
+		}
+	}
+}
+
+func sortedKeys(m map[int32]int32) []int32 {
+	ks := make([]int32, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func sortedChildren(m map[int32]int32) []int32 {
+	ks := sortedKeys(m)
+	vs := make([]int32, len(ks))
+	for i, k := range ks {
+		vs[i] = m[k]
+	}
+	return vs
+}
+
+// States reports the number of automaton states (trie nodes).
+func (a *Automaton) States() int { return len(a.nodes) }
+
+// step advances from state cur on symbol s.
+func (a *Automaton) step(cur int32, s int32) int32 {
+	for {
+		if nxt, ok := a.nodes[cur].next[s]; ok {
+			return nxt
+		}
+		if cur == 0 {
+			return 0
+		}
+		cur = a.nodes[cur].fail
+	}
+}
+
+// LongestMatchEnding returns, for each text position j, the index of the
+// longest pattern whose occurrence ends at j (inclusive), or -1.
+func (a *Automaton) LongestMatchEnding(text []int32) []int32 {
+	out := make([]int32, len(text))
+	cur := int32(0)
+	for j, s := range text {
+		cur = a.step(cur, s)
+		m := int32(-1)
+		v := cur
+		if a.nodes[v].out < 0 {
+			v = a.nodes[v].outLink
+		}
+		if v >= 0 {
+			m = a.nodes[v].out
+		}
+		out[j] = m
+	}
+	return out
+}
+
+// LongestMatchStarting returns, for each text position j, the index of the
+// longest pattern matching with its first symbol at j, or -1 — the output
+// format of the paper (§2). Computed by recording, per start position, the
+// longest pattern seen among all occurrences.
+func (a *Automaton) LongestMatchStarting(text []int32) []int32 {
+	n := len(text)
+	out := make([]int32, n)
+	for j := range out {
+		out[j] = -1
+	}
+	cur := int32(0)
+	for j, s := range text {
+		cur = a.step(cur, s)
+		// Walk the output chain: every pattern ending at j starts at
+		// j-len+1. Keeping only the longest per start suffices because a
+		// longer pattern ending later could also start there; but any
+		// pattern starting at position p is seen when its end is reached,
+		// so taking max over ends covers all starts.
+		v := cur
+		if a.nodes[v].out < 0 {
+			v = a.nodes[v].outLink
+		}
+		for v >= 0 {
+			pi := a.nodes[v].out
+			start := j - len(a.patterns[pi]) + 1
+			if out[start] < 0 || len(a.patterns[pi]) > len(a.patterns[out[start]]) {
+				out[start] = pi
+			}
+			v = a.nodes[v].outLink
+		}
+	}
+	return out
+}
+
+// AllMatches invokes f(start, patternIndex) for every occurrence of every
+// pattern in the text.
+func (a *Automaton) AllMatches(text []int32, f func(start int, pat int32)) {
+	cur := int32(0)
+	for j, s := range text {
+		cur = a.step(cur, s)
+		v := cur
+		if a.nodes[v].out < 0 {
+			v = a.nodes[v].outLink
+		}
+		for v >= 0 {
+			pi := a.nodes[v].out
+			f(j-len(a.patterns[pi])+1, pi)
+			v = a.nodes[v].outLink
+		}
+	}
+}
+
+// Count returns the total number of occurrences of all patterns in text.
+func (a *Automaton) Count(text []int32) int {
+	n := 0
+	a.AllMatches(text, func(int, int32) { n++ })
+	return n
+}

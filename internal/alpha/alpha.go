@@ -1,0 +1,99 @@
+// Package alpha handles alphabets: mapping input bytes (or wider symbols) to
+// the dense int32 symbol ids the matching engines operate on, and the binary
+// re-encoding used by Theorem 5 to trade alphabet size for pattern length.
+package alpha
+
+import "fmt"
+
+// MaxSymbol is the largest allowed symbol id. Symbols and names share int32
+// arithmetic; ids must stay below this bound (the paper assumes an alphabet
+// polynomial in n and M, §2).
+const MaxSymbol = 1<<30 - 1
+
+// Encoder maps raw byte strings to dense symbol ids. The zero value is not
+// usable; construct with NewByteEncoder or NewDenseEncoder.
+type Encoder struct {
+	dense [256]int32 // -1 for unmapped
+	size  int32
+	fixed bool // identity byte mapping
+}
+
+// NewByteEncoder returns an encoder that maps each byte to its own value
+// (alphabet size 256). It never fails on any input.
+func NewByteEncoder() *Encoder {
+	e := &Encoder{size: 256, fixed: true}
+	for i := range e.dense {
+		e.dense[i] = int32(i)
+	}
+	return e
+}
+
+// NewDenseEncoder returns an encoder over exactly the bytes of sigma, mapped
+// to 0..len(sigma)-1 in the order given. Duplicate bytes are an error.
+func NewDenseEncoder(sigma []byte) (*Encoder, error) {
+	e := &Encoder{}
+	for i := range e.dense {
+		e.dense[i] = -1
+	}
+	for i, b := range sigma {
+		if e.dense[b] != -1 {
+			return nil, fmt.Errorf("alpha: duplicate alphabet byte %q", b)
+		}
+		e.dense[b] = int32(i)
+	}
+	e.size = int32(len(sigma))
+	return e, nil
+}
+
+// Size reports the alphabet size.
+func (e *Encoder) Size() int { return int(e.size) }
+
+// Encode maps s to symbol ids. Bytes outside the alphabet map to -1 when the
+// encoder is dense; for text that is harmless (-1 never matches), but
+// EncodePattern rejects them.
+func (e *Encoder) Encode(s []byte) []int32 {
+	out := make([]int32, len(s))
+	for i, b := range s {
+		out[i] = e.dense[b]
+	}
+	return out
+}
+
+// EncodePattern maps a pattern to symbol ids, rejecting out-of-alphabet
+// bytes (a pattern containing them could never match, and the dictionary
+// tables assume valid symbols).
+func (e *Encoder) EncodePattern(s []byte) ([]int32, error) {
+	out := make([]int32, len(s))
+	for i, b := range s {
+		v := e.dense[b]
+		if v < 0 {
+			return nil, fmt.Errorf("alpha: pattern byte %q (at %d) outside alphabet", b, i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// BitsFor returns the number of bits needed to encode an alphabet of size
+// sigma (at least 1).
+func BitsFor(sigma int) int {
+	bits := 1
+	for 1<<bits < sigma {
+		bits++
+	}
+	return bits
+}
+
+// BinaryExpand re-encodes syms over {0,1} using fixed-width big-endian
+// codes of BitsFor(sigma) bits per symbol (the Theorem 5 transformation:
+// dictionary size M·log σ over a binary alphabet).
+func BinaryExpand(syms []int32, sigma int) []int32 {
+	bits := BitsFor(sigma)
+	out := make([]int32, 0, len(syms)*bits)
+	for _, s := range syms {
+		for b := bits - 1; b >= 0; b-- {
+			out = append(out, (s>>uint(b))&1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package alpha
+
+import "testing"
+
+func TestByteEncoder(t *testing.T) {
+	e := NewByteEncoder()
+	if e.Size() != 256 {
+		t.Fatalf("size = %d", e.Size())
+	}
+	got := e.Encode([]byte{0, 1, 255, 'a'})
+	want := []int32{0, 1, 255, 'a'}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if _, err := e.EncodePattern([]byte("anything")); err != nil {
+		t.Fatalf("byte encoder must accept all bytes: %v", err)
+	}
+}
+
+func TestDenseEncoder(t *testing.T) {
+	e, err := NewDenseEncoder([]byte("acgt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 4 {
+		t.Fatalf("size = %d", e.Size())
+	}
+	got := e.Encode([]byte("gattaca!"))
+	want := []int32{2, 0, 3, 3, 0, 1, 0, -1}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if _, err := e.EncodePattern([]byte("gatx")); err == nil {
+		t.Fatal("pattern with out-of-alphabet byte must fail")
+	}
+	if p, err := e.EncodePattern([]byte("acgt")); err != nil || p[3] != 3 {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+}
+
+func TestDenseEncoderDuplicate(t *testing.T) {
+	if _, err := NewDenseEncoder([]byte("aba")); err == nil {
+		t.Fatal("duplicate alphabet byte must fail")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 256: 8}
+	for sigma, want := range cases {
+		if got := BitsFor(sigma); got != want {
+			t.Fatalf("BitsFor(%d) = %d, want %d", sigma, got, want)
+		}
+	}
+}
+
+func TestBinaryExpand(t *testing.T) {
+	got := BinaryExpand([]int32{0, 1, 2, 3}, 4)
+	want := []int32{0, 0, 0, 1, 1, 0, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Expansion preserves equality/inequality of strings.
+	a := BinaryExpand([]int32{5, 2}, 8)
+	b := BinaryExpand([]int32{5, 2}, 8)
+	cmp := BinaryExpand([]int32{5, 3}, 8)
+	if len(a) != 6 {
+		t.Fatalf("len = %d", len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("equal inputs must expand equally")
+	}
+	diff := false
+	for i := range a {
+		if a[i] != cmp[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("unequal inputs must expand unequally")
+	}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func enc(s string) []int32 {
+	out := make([]int32, len(s))
+	for i := range s {
+		out[i] = int32(s[i])
+	}
+	return out
+}
+
+func encAll(ss ...string) [][]int32 {
+	out := make([][]int32, len(ss))
+	for i, s := range ss {
+		out[i] = enc(s)
+	}
+	return out
+}
+
+func mustDict(t *testing.T, c *pram.Ctx, pats [][]int32) *Dict {
+	t.Helper()
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	return d
+}
+
+func checkAgainstNaive(t *testing.T, pats [][]int32, text []int32) {
+	t.Helper()
+	c := ctx()
+	d := mustDict(t, c, pats)
+	r := d.Match(c, text)
+	wantLen, _ := naive.LongestPrefix(pats, text)
+	wantPat := naive.LongestPattern(pats, text)
+	for j := range text {
+		if r.Len[j] != wantLen[j] {
+			t.Fatalf("pos %d: longest prefix len = %d, want %d (pats=%v text=%v)",
+				j, r.Len[j], wantLen[j], pats, text)
+		}
+		if r.Pat[j] != wantPat[j] {
+			t.Fatalf("pos %d: pattern = %d, want %d (pats=%v text=%v)",
+				j, r.Pat[j], wantPat[j], pats, text)
+		}
+	}
+}
+
+func TestMatchBasic(t *testing.T) {
+	pats := encAll("he", "she", "his", "hers")
+	text := enc("ushershehishe")
+	checkAgainstNaive(t, pats, text)
+}
+
+func TestMatchSingleChar(t *testing.T) {
+	checkAgainstNaive(t, encAll("a"), enc("aabab"))
+	checkAgainstNaive(t, encAll("a", "b"), enc("aabab"))
+	checkAgainstNaive(t, encAll("a", "ab", "abc"), enc("abcabab"))
+}
+
+func TestMatchEmptyDict(t *testing.T) {
+	c := ctx()
+	d := mustDict(t, c, nil)
+	r := d.Match(c, enc("abc"))
+	for j := range r.Pat {
+		if r.Pat[j] != -1 || r.Len[j] != 0 {
+			t.Fatalf("empty dict matched at %d: pat=%d len=%d", j, r.Pat[j], r.Len[j])
+		}
+	}
+}
+
+func TestMatchEmptyText(t *testing.T) {
+	c := ctx()
+	d := mustDict(t, c, encAll("abc"))
+	r := d.Match(c, nil)
+	if len(r.Pat) != 0 {
+		t.Fatalf("want empty result, got %d entries", len(r.Pat))
+	}
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	c := ctx()
+	if _, err := Preprocess(c, [][]int32{{}}); err == nil {
+		t.Fatal("want error for empty pattern")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	c := ctx()
+	_, err := Preprocess(c, encAll("ab", "cd", "ab"))
+	de, ok := err.(*DuplicateError)
+	if !ok {
+		t.Fatalf("want DuplicateError, got %v", err)
+	}
+	if de.First != 0 || de.Second != 2 {
+		t.Fatalf("want duplicate (0,2), got (%d,%d)", de.First, de.Second)
+	}
+}
+
+func TestPatternLongerThanText(t *testing.T) {
+	checkAgainstNaive(t, encAll("abcdefgh"), enc("abc"))
+}
+
+func TestNestedPatterns(t *testing.T) {
+	checkAgainstNaive(t, encAll("a", "aa", "aaa", "aaaa", "aaaaa"), enc("aaaaaaaab"))
+}
+
+func TestPeriodicPatterns(t *testing.T) {
+	checkAgainstNaive(t, encAll("abab", "ababab", "ba", "abb"), enc("abababababbabab"))
+}
+
+func TestRandomSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		sigma := 1 + rng.Intn(3)
+		np := 1 + rng.Intn(6)
+		seen := map[string]bool{}
+		var pats [][]int32
+		for len(pats) < np {
+			l := 1 + rng.Intn(9)
+			p := make([]int32, l)
+			bs := make([]byte, l)
+			for i := range p {
+				v := int32(rng.Intn(sigma))
+				p[i] = v
+				bs[i] = byte(v)
+			}
+			if seen[string(bs)] {
+				continue
+			}
+			seen[string(bs)] = true
+			pats = append(pats, p)
+		}
+		text := make([]int32, rng.Intn(40))
+		for i := range text {
+			text[i] = int32(rng.Intn(sigma + 1)) // sometimes out-of-dict symbol
+		}
+		checkAgainstNaive(t, pats, text)
+	}
+}
+
+func TestRandomLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		sigma := 2 + rng.Intn(4)
+		np := 5 + rng.Intn(20)
+		seen := map[string]bool{}
+		var pats [][]int32
+		for len(pats) < np {
+			l := 1 + rng.Intn(60)
+			p := make([]int32, l)
+			bs := make([]byte, l)
+			for i := range p {
+				v := int32(rng.Intn(sigma))
+				p[i] = v
+				bs[i] = byte(v)
+			}
+			if seen[string(bs)] {
+				continue
+			}
+			seen[string(bs)] = true
+			pats = append(pats, p)
+		}
+		text := make([]int32, 300+rng.Intn(300))
+		for i := range text {
+			text[i] = int32(rng.Intn(sigma))
+		}
+		checkAgainstNaive(t, pats, text)
+	}
+}
+
+func TestAllMatches(t *testing.T) {
+	pats := encAll("a", "ab", "abc", "b", "bc")
+	text := enc("abcab")
+	c := ctx()
+	d := mustDict(t, c, pats)
+	r := d.Match(c, text)
+	want := naive.AllMatches(pats, text)
+	for j := range text {
+		got := d.AllMatches(r, j, nil)
+		if len(got) != len(want[j]) {
+			t.Fatalf("pos %d: got %v want %v", j, got, want[j])
+		}
+		for i := range got {
+			if got[i] != want[j][i] {
+				t.Fatalf("pos %d: got %v want %v", j, got, want[j])
+			}
+		}
+	}
+}
+
+func TestPrefixNamesAreConsistent(t *testing.T) {
+	// Equal prefixes across patterns must share names; unequal must differ.
+	pats := encAll("abcde", "abcxy", "abq", "zabc")
+	c := ctx()
+	d := mustDict(t, c, pats)
+	for l := 1; l <= 3; l++ {
+		if d.PrefixName(0, l) != d.PrefixName(1, l) {
+			t.Fatalf("shared prefix of length %d got different names", l)
+		}
+	}
+	if d.PrefixName(0, 2) != d.PrefixName(2, 2) {
+		t.Fatal("prefix 'ab' of pattern 2 should share the name")
+	}
+	if d.PrefixName(0, 3) == d.PrefixName(2, 3) {
+		t.Fatal("'abc' and 'abq' must have distinct names")
+	}
+	if d.PrefixName(0, 1) == d.PrefixName(3, 1) {
+		t.Fatal("'a' and 'z' must have distinct names")
+	}
+	if d.PrefixName(0, 1) == d.PrefixName(0, 2) {
+		t.Fatal("names of different lengths of the same pattern must differ")
+	}
+	if got := d.NameLen(d.PrefixName(0, 3)); got != 3 {
+		t.Fatalf("NameLen = %d, want 3", got)
+	}
+}
+
+func TestMatchWithNoneSymbols(t *testing.T) {
+	// Text containing naming.None (out-of-alphabet) must never match.
+	pats := encAll("ab")
+	text := []int32{int32('a'), naming.None, int32('a'), int32('b')}
+	c := ctx()
+	d := mustDict(t, c, pats)
+	r := d.Match(c, text)
+	if r.Pat[0] != -1 {
+		t.Fatal("must not match across None")
+	}
+	if r.Pat[2] != 0 {
+		t.Fatal("should match at 2")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	pats := encAll("abc", "ab", "zz")
+	c := ctx()
+	d := mustDict(t, c, pats)
+	if d.TotalSize() != 7 {
+		t.Fatalf("TotalSize = %d", d.TotalSize())
+	}
+	if string(runeify(d.Pattern(0))) != "abc" {
+		t.Fatalf("Pattern(0) = %v", d.Pattern(0))
+	}
+	// LongestPatternOf on the full "abc" prefix is pattern 0 itself.
+	name := d.PrefixName(0, 3)
+	if d.LongestPatternOf(name) != 0 {
+		t.Fatalf("LongestPatternOf = %d", d.LongestPatternOf(name))
+	}
+	if d.LongestPatternOf(-2) != -1 || d.LongestPatternOf(-1) != -1 {
+		t.Fatal("sentinel names must yield -1")
+	}
+	// NextShorter: "abc" has proper-prefix pattern "ab".
+	if d.NextShorter(0) != 1 {
+		t.Fatalf("NextShorter(abc) = %d", d.NextShorter(0))
+	}
+	if d.NextShorter(2) != -1 {
+		t.Fatalf("NextShorter(zz) = %d", d.NextShorter(2))
+	}
+	if d.NameLen(naming.Empty) != 0 {
+		t.Fatal("NameLen(Empty) != 0")
+	}
+}
+
+func runeify(p []int32) []byte {
+	out := make([]byte, len(p))
+	for i, v := range p {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func TestMatchLongestPrefixOnly(t *testing.T) {
+	pats := encAll("abcd", "bc")
+	c := ctx()
+	d := mustDict(t, c, pats)
+	text := enc("xabcx")
+	r := d.MatchLongestPrefix(c, text)
+	wantLen, _ := naive.LongestPrefix(pats, text)
+	for j := range text {
+		if r.Len[j] != wantLen[j] {
+			t.Fatalf("pos %d: %d want %d", j, r.Len[j], wantLen[j])
+		}
+	}
+	if r.Pat != nil {
+		t.Fatal("prefix-only match must not resolve patterns")
+	}
+	// Empty cases.
+	if got := d.MatchLongestPrefix(c, nil); len(got.Len) != 0 {
+		t.Fatal("empty text")
+	}
+	de := mustDict(t, c, nil)
+	if got := de.MatchLongestPrefix(c, text); got.Len[0] != 0 {
+		t.Fatal("empty dict matched")
+	}
+}
+
+func TestDuplicateErrorMessage(t *testing.T) {
+	e := &DuplicateError{First: 3, Second: 9}
+	if e.Error() == "" {
+		t.Fatal("empty message")
+	}
+}

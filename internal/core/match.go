@@ -1,0 +1,129 @@
+package core
+
+import (
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Result holds the per-position output of static dictionary matching on one
+// text (§4: Step 1 prefix-matching plus Step 2 longest-pattern resolution).
+type Result struct {
+	// Len[j] is the length of the longest dictionary prefix matching at j.
+	Len []int32
+	// Name[j] is that prefix's name (naming.Empty when Len[j] == 0).
+	Name []int32
+	// Pat[j] is the index of the longest pattern matching at j, or -1.
+	Pat []int32
+}
+
+// Match finds, for every text position, the longest dictionary prefix and
+// the longest pattern beginning there (Theorem 1/3 text processing:
+// O(n·log m) work, O(log m) depth on the instrumented counters).
+func (d *Dict) Match(c *pram.Ctx, text []int32) *Result {
+	n := len(text)
+	r := &Result{
+		Len:  make([]int32, n),
+		Name: make([]int32, n),
+		Pat:  make([]int32, n),
+	}
+	pram.Fill(c, r.Name, naming.Empty)
+	pram.Fill(c, r.Pat, -1)
+	if n == 0 || d.maxLen == 0 {
+		return r
+	}
+
+	syms := d.SpawnText(c, text)
+	d.unwind(c, text, syms, r)
+
+	c.For(n, func(j int) {
+		if name := r.Name[j]; name != naming.Empty {
+			r.Pat[j] = d.lp[name]
+		}
+	})
+	return r
+}
+
+// SpawnText computes the level-k symbol arrays for the text: syms[k][j]
+// names T[j .. j+2^k−1] under the dictionary's naming function, or
+// naming.None when that substring does not occur block-aligned in any
+// pattern. This is the spawn half of shrink-and-spawn: the level-k spawned
+// copies of §3.1 are the stride-2^k subsequences of syms[k].
+func (d *Dict) SpawnText(c *pram.Ctx, text []int32) [][]int32 {
+	n := len(text)
+	syms := make([][]int32, d.levels)
+	syms[0] = text
+	for k := 1; k < d.levels; k++ {
+		prev := syms[k-1]
+		cur := make([]int32, n)
+		half := 1 << uint(k-1)
+		up := d.up[k]
+		c.For(n, func(j int) {
+			if j+2*half > n {
+				cur[j] = naming.None
+				return
+			}
+			a, b := prev[j], prev[j+half]
+			if a == naming.None || b == naming.None {
+				cur[j] = naming.None
+				return
+			}
+			cur[j] = up.Lookup(naming.EncodePair(a, b))
+		})
+		syms[k] = cur
+	}
+	return syms
+}
+
+// unwind performs the Extend-Right cascade (§4.1 Step 3): descending the
+// levels, each position's match grows by 2^k or stays, via one down[k]
+// lookup. The §4.1 guarantee — if no shrunk prefix of length t+1 matches,
+// no original prefix of length 2t+2 matches — makes the single probe per
+// level sufficient.
+func (d *Dict) unwind(c *pram.Ctx, text []int32, syms [][]int32, r *Result) {
+	n := len(text)
+	for k := d.levels - 1; k >= 0; k-- {
+		step := 1 << uint(k)
+		down := d.down[k]
+		level := syms[k]
+		c.For(n, func(j int) {
+			l := int(r.Len[j])
+			pos := j + l
+			if pos+step > n {
+				return
+			}
+			b := level[pos]
+			if b == naming.None {
+				return
+			}
+			if v, ok := down.Get(naming.EncodePair(r.Name[j], b)); ok {
+				r.Len[j] = int32(l + step)
+				r.Name[j] = v
+			}
+		})
+	}
+}
+
+// MatchLongestPrefix runs only Step 1 (static prefix-matching, Theorem 1):
+// the longest dictionary prefix per position, without pattern resolution.
+func (d *Dict) MatchLongestPrefix(c *pram.Ctx, text []int32) *Result {
+	n := len(text)
+	r := &Result{Len: make([]int32, n), Name: make([]int32, n)}
+	pram.Fill(c, r.Name, naming.Empty)
+	if n == 0 || d.maxLen == 0 {
+		return r
+	}
+	syms := d.SpawnText(c, text)
+	d.unwind(c, text, syms, r)
+	return r
+}
+
+// AllMatches appends to dst the indices of every pattern matching at
+// position j of a Result, longest first, and returns the extended slice
+// (output-sensitive all-matches expansion; see DESIGN.md §2 on interval
+// allocation).
+func (d *Dict) AllMatches(r *Result, j int, dst []int32) []int32 {
+	for p := r.Pat[j]; p >= 0; p = d.nextShort[p] {
+		dst = append(dst, p)
+	}
+	return dst
+}

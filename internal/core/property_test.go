@@ -1,0 +1,248 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pardict/internal/naive"
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// TestQuickMatchEqualsNaive is the main property: on arbitrary generated
+// inputs the engine output equals the brute-force oracle.
+func TestQuickMatchEqualsNaive(t *testing.T) {
+	c := ctx()
+	f := func(patSeed, textSeed int64, npRaw, sigmaRaw uint8, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(patSeed))
+		sigma := 1 + int(sigmaRaw%4)
+		np := 1 + int(npRaw%5)
+		seen := map[string]bool{}
+		var pats [][]int32
+		for attempts := 0; len(pats) < np && attempts < 100; attempts++ {
+			l := 1 + rng.Intn(15)
+			p := make([]int32, l)
+			key := make([]byte, l)
+			for i := range p {
+				p[i] = int32(rng.Intn(sigma))
+				key[i] = byte(p[i])
+			}
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			pats = append(pats, p)
+		}
+		trng := rand.New(rand.NewSource(textSeed))
+		text := make([]int32, int(nRaw%512))
+		for i := range text {
+			text[i] = int32(trng.Intn(sigma))
+		}
+		d, err := Preprocess(c, pats)
+		if err != nil {
+			return false
+		}
+		r := d.Match(c, text)
+		wantLen, _ := naive.LongestPrefix(pats, text)
+		wantPat := naive.LongestPattern(pats, text)
+		for j := range text {
+			if r.Len[j] != wantLen[j] || r.Pat[j] != wantPat[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixNameBijection: prefix names are equal iff (content, length) are
+// equal — the §3.3 defining property — across every pair of positions.
+func TestPrefixNameBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		sigma := 1 + rng.Intn(3)
+		np := 2 + rng.Intn(5)
+		seen := map[string]bool{}
+		var pats [][]int32
+		for attempts := 0; len(pats) < np && attempts < 200; attempts++ {
+			l := 1 + rng.Intn(12)
+			p := make([]int32, l)
+			key := make([]byte, l)
+			for i := range p {
+				p[i] = int32(rng.Intn(sigma))
+				key[i] = byte(p[i])
+			}
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			pats = append(pats, p)
+		}
+		c := ctx()
+		d := mustDict(t, c, pats)
+		type occ struct{ i, l int }
+		byName := map[int32]occ{}
+		for i, p := range pats {
+			for l := 1; l <= len(p); l++ {
+				name := d.PrefixName(i, l)
+				if int(d.NameLen(name)) != l {
+					t.Fatalf("NameLen(%d) = %d, want %d", name, d.NameLen(name), l)
+				}
+				if prev, ok := byName[name]; ok {
+					if prev.l != l {
+						t.Fatalf("name %d used for lengths %d and %d", name, prev.l, l)
+					}
+					for x := 0; x < l; x++ {
+						if pats[prev.i][x] != p[x] {
+							t.Fatalf("name %d shared by different contents", name)
+						}
+					}
+				} else {
+					byName[name] = occ{i, l}
+				}
+			}
+		}
+		// Conversely: equal contents must share names.
+		byContent := map[string]int32{}
+		for i, p := range pats {
+			key := make([]byte, 0, 2*len(p))
+			for l := 1; l <= len(p); l++ {
+				key = append(key, byte(p[l-1]), byte(p[l-1]>>8))
+				name := d.PrefixName(i, l)
+				if prev, ok := byContent[string(key)]; ok && prev != name {
+					t.Fatalf("content %v got names %d and %d", key, prev, name)
+				}
+				byContent[string(key)] = name
+			}
+		}
+	}
+}
+
+// TestMatchPreservation: the shrink-and-spawn reduction is match-preserving
+// (§3.1). We check the observable consequence level by level: the level-k
+// text symbol arrays produced by SpawnText assign equal names exactly to
+// equal dictionary-occurring substrings.
+func TestMatchPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		sigma := 1 + rng.Intn(3)
+		p := make([]int32, 16+rng.Intn(17))
+		for i := range p {
+			p[i] = int32(rng.Intn(sigma))
+		}
+		c := ctx()
+		d := mustDict(t, c, [][]int32{p})
+		text := make([]int32, 200)
+		for i := range text {
+			text[i] = int32(rng.Intn(sigma))
+		}
+		copy(text[50:], p) // guarantee dictionary-aligned content appears
+		syms := d.SpawnText(c, text)
+		for k := 1; k < d.Levels(); k++ {
+			w := 1 << uint(k)
+			for a := 0; a+w <= len(text); a++ {
+				for b := a + 1; b+w <= len(text); b++ {
+					na, nb := syms[k][a], syms[k][b]
+					if na == naming.None || nb == naming.None {
+						continue // not dictionary-aligned content: exempt
+					}
+					eq := true
+					for x := 0; x < w; x++ {
+						if text[a+x] != text[b+x] {
+							eq = false
+							break
+						}
+					}
+					if eq != (na == nb) {
+						t.Fatalf("level %d: positions %d,%d content-eq=%v name-eq=%v",
+							k, a, b, eq, na == nb)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLargeSymbolValues: symbols near the int32 encoding limit must work
+// (the alphabet is only assumed polynomial in n and M, §2).
+func TestLargeSymbolValues(t *testing.T) {
+	const big = 1 << 29
+	pats := [][]int32{{big, big + 1}, {big + 1, big}, {big + 2}}
+	text := []int32{big, big + 1, big, big + 2, big + 1, big}
+	checkAgainstNaive(t, pats, text)
+}
+
+func TestSinglePatternIsWholeText(t *testing.T) {
+	p := enc("exactmatch")
+	c := ctx()
+	d := mustDict(t, c, [][]int32{p})
+	r := d.Match(c, p)
+	if r.Pat[0] != 0 || r.Len[0] != int32(len(p)) {
+		t.Fatalf("full-text match failed: pat=%d len=%d", r.Pat[0], r.Len[0])
+	}
+	for j := 1; j < len(p); j++ {
+		if r.Pat[j] != -1 {
+			t.Fatalf("spurious match at %d", j)
+		}
+	}
+}
+
+func TestMatchAtTextBoundary(t *testing.T) {
+	// Pattern ends exactly at the last text position, for every length class
+	// around powers of two (exercises the bounds checks in every level).
+	for _, l := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33} {
+		p := make([]int32, l)
+		for i := range p {
+			p[i] = int32(i%3 + 1)
+		}
+		text := append(make([]int32, 7), p...) // zeros then the pattern
+		c := ctx()
+		d := mustDict(t, c, [][]int32{p})
+		r := d.Match(c, text)
+		if r.Pat[7] != 0 {
+			t.Fatalf("l=%d: no match at boundary", l)
+		}
+		// One symbol short: must not match.
+		short := text[:len(text)-1]
+		r2 := d.Match(c, short)
+		if len(short) > 7 && r2.Pat[7] != -1 {
+			t.Fatalf("l=%d: matched truncated text", l)
+		}
+	}
+}
+
+// TestWorkDepthBounds asserts the Theorem 1/3 counter shapes directly.
+func TestWorkDepthBounds(t *testing.T) {
+	pats := [][]int32{}
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 32; i++ {
+		l := 1 + rng.Intn(255)
+		p := make([]int32, l)
+		for k := range p {
+			p[k] = int32(rng.Intn(6))
+		}
+		pats = append(pats, p)
+	}
+	c := pram.New(0)
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Skip("rare duplicate; acceptable")
+	}
+	n := 1 << 15
+	text := make([]int32, n)
+	for i := range text {
+		text[i] = int32(rng.Intn(6))
+	}
+	c.ResetStats()
+	d.Match(c, text)
+	levels := int64(d.Levels())
+	if w := c.Work(); w > int64(n)*(2*levels+4) || w < int64(n)*levels {
+		t.Fatalf("match work %d outside [n·levels, n·(2·levels+4)] (levels=%d)", w, levels)
+	}
+	if dep := c.Depth(); dep > 4*levels+8 {
+		t.Fatalf("match depth %d > 4·levels+8 (levels=%d)", dep, levels)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"pardict/internal/workload"
+)
+
+func TestDictSaveLoadRoundTrip(t *testing.T) {
+	pats := workload.Dictionary(23, 40, 1, 50, 5)
+	c := ctx()
+	d := mustDict(t, c, pats)
+	var buf bytes.Buffer
+	n, err := d.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	ld, err := Load(c, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.MaxLen() != d.MaxLen() || ld.Levels() != d.Levels() ||
+		ld.NameCount() != d.NameCount() || ld.PatternCount() != d.PatternCount() {
+		t.Fatal("metadata mismatch")
+	}
+	text := workload.PlantedText(24, 5000, 5, pats, 40)
+	r1 := d.Match(c, text)
+	r2 := ld.Match(c, text)
+	for j := range text {
+		if r1.Pat[j] != r2.Pat[j] || r1.Len[j] != r2.Len[j] || r1.Name[j] != r2.Name[j] {
+			t.Fatalf("pos %d: (%d,%d,%d) vs (%d,%d,%d)", j,
+				r1.Pat[j], r1.Len[j], r1.Name[j], r2.Pat[j], r2.Len[j], r2.Name[j])
+		}
+	}
+	// Prefix names survive too (used by dependent packages).
+	for i := range pats {
+		for l := 1; l <= len(pats[i]); l++ {
+			if d.PrefixName(i, l) != ld.PrefixName(i, l) {
+				t.Fatalf("prefix name (%d,%d) mismatch", i, l)
+			}
+		}
+	}
+}
+
+func TestDictLoadRejectsCorruption(t *testing.T) {
+	pats := workload.Dictionary(25, 8, 2, 10, 3)
+	c := ctx()
+	d := mustDict(t, c, pats)
+	var buf bytes.Buffer
+	if _, err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at many points must all fail cleanly.
+	for cut := 0; cut < len(good); cut += 1 + len(good)/37 {
+		if _, err := Load(c, bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := Load(c, bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Implausible header (huge levels).
+	bad2 := append([]byte(nil), good...)
+	bad2[12] = 0xFF
+	if _, err := Load(c, bytes.NewReader(bad2)); err == nil {
+		t.Fatal("accepted implausible header")
+	}
+}
+
+func TestDictSaveLoadEmpty(t *testing.T) {
+	c := ctx()
+	d := mustDict(t, c, nil)
+	var buf bytes.Buffer
+	if _, err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ld, err := Load(c, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ld.Match(c, enc("abc"))
+	for j := range r.Pat {
+		if r.Pat[j] != -1 {
+			t.Fatal("empty dict matched after load")
+		}
+	}
+}

@@ -1,0 +1,474 @@
+// Package dict2d implements §5 of the paper: two-dimensional dictionary
+// matching over square patterns of (possibly) different sides, in O(log m)
+// time, O(M) preprocessing work and O(n·log m) matching work (Theorem 6).
+//
+// Level k of the recursion works on the set S_k of squares over level-k
+// symbols (2^k × 2^k blocks of original characters):
+//
+//   - S'_k = S_k ∪ S_k^r ∪ S_k^c adds the stripped variants (top row / left
+//     column removed, truncated back to squares) so that odd-side extension
+//     can consume neighbours' match results;
+//   - every element of S'_k gets unified square-prefix names δ2 (row prefix
+//     naming, then column prefix naming over the row names — Lemma 1);
+//     "unified" means equal (content, side) ⇒ equal name across all three
+//     variants, which collapses the paper's per-set case analysis into plain
+//     table lookups;
+//   - S_{k+1} = S'_k shrunk by naming disjoint 2×2 blocks (the spawn side is
+//     implicit: the level-k text block grid B_k holds the block name at
+//     every cell, and the four spawned texts of §5 Step 1 are its stride-2^k
+//     subsamplings).
+//
+// Unwinding, per cell τ and level k: the recursion (level k+1) supplies the
+// largest even-side S'_k-prefix α(τ). The answer at level k is either the
+// largest S_k-sub-prefix of α(τ) (lpS table) or the odd candidate of side
+// 2i+1, checked with one namestamp of ⟨n_e, n_r, n_c, corner⟩ (Step 4b)
+// where n_r, n_c are truncations of the neighbours' α values — O(1) lookups
+// per cell per level.
+package dict2d
+
+import (
+	"errors"
+	"fmt"
+
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Errors reported by Preprocess.
+var (
+	ErrNotSquare    = errors.New("dict2d: patterns must be squares")
+	ErrEmptyPattern = errors.New("dict2d: empty pattern")
+	ErrDuplicate    = errors.New("dict2d: duplicate pattern")
+	ErrRagged       = errors.New("dict2d: text must be rectangular")
+)
+
+// Dict is a preprocessed 2-D dictionary. Immutable after Preprocess; safe
+// for concurrent Match calls.
+type Dict struct {
+	levels []*level
+	lpPat  []int32 // level-0 δ2 name -> largest pattern that is a sub-prefix
+	// nextShort[p] = largest pattern that is a proper sub-prefix (smaller
+	// corner square) of pattern p, or -1: the §4.2-style chain that makes
+	// all-matches output per cell output-sensitive.
+	nextShort []int32
+	maxSide   int
+	np        int
+}
+
+// level holds the per-recursion-level tables (see package comment).
+type level struct {
+	// Block naming: quad (a,b | c,d) -> level-(k+1) symbol, staged as
+	// pairRow (a,b)->x, pairRow (c,d)->y, quad (x,y)->name.
+	pairRow, quad *naming.Frozen
+
+	// Unified square-prefix machinery over S'_k.
+	sideOf []int32        // δ2 name -> side
+	trunc  *naming.Frozen // (δ2 name, smaller side) -> δ2 name of sub-prefix
+	lpS    []int32        // δ2 name -> δ2 name of largest S_k-sub-prefix (or Empty)
+
+	// Odd-candidate tuple table, staged: (n_e,n_r)->t, (t,n_c)->u,
+	// (u,corner)->δ2 name of the (2i+1)-side S_k-prefix.
+	candA, candB, candC *naming.Frozen
+
+	// mapUp[next-level δ2 name] = this-level δ2 name of the unshrunk
+	// (doubled-side) prefix.
+	mapUp []int32
+
+	// Deferred mapUp fill: the shrunk elements (whose names the next level
+	// assigns) paired with their sources in S'_k.
+	pendingMap []*square
+	pendingSrc []*square
+}
+
+// square is one element of S'_k with its δ2 prefix names by side.
+type square struct {
+	cells [][]int32 // side × side
+	pn    []int32   // pn[s-1] = δ2 name of the side-s prefix
+	isS   bool      // true when the element is in S_k (not a stripped variant)
+	pat   int32     // original pattern index when a level-0 S element, else -1
+}
+
+// MaxSide reports m, the largest pattern side.
+func (d *Dict) MaxSide() int { return d.maxSide }
+
+// PatternCount reports the number of patterns.
+func (d *Dict) PatternCount() int { return d.np }
+
+// Preprocess builds the dictionary from square patterns in O(M) work.
+func Preprocess(c *pram.Ctx, patterns [][][]int32) (*Dict, error) {
+	d := &Dict{np: len(patterns)}
+	elems := make([]*square, 0, len(patterns))
+	seen := map[string]int{}
+	for pi, p := range patterns {
+		side := len(p)
+		if side == 0 {
+			return nil, ErrEmptyPattern
+		}
+		for _, row := range p {
+			if len(row) != side {
+				return nil, ErrNotSquare
+			}
+		}
+		k := gridKey(p)
+		if prev, ok := seen[k]; ok {
+			return nil, fmt.Errorf("%w: patterns %d and %d", ErrDuplicate, prev, pi)
+		}
+		seen[k] = pi
+		if side > d.maxSide {
+			d.maxSide = side
+		}
+		elems = append(elems, &square{cells: p, isS: true, pat: int32(pi)})
+	}
+	if d.maxSide == 0 {
+		return d, nil
+	}
+
+	var prev *level
+	for len(elems) > 0 {
+		lv, next := buildLevel(c, elems)
+		d.levels = append(d.levels, lv)
+		if prev != nil {
+			fillMapUp(c, prev)
+		}
+		if len(d.levels) == 1 {
+			d.buildPatternChain(c, lv, elems)
+		}
+		elems = next
+		prev = lv
+	}
+	if prev != nil {
+		prev.pendingMap, prev.pendingSrc = nil, nil // last level shrinks to nothing
+	}
+	return d, nil
+}
+
+// fillMapUp binds the freshly named shrunk elements back to their sources:
+// mapUp[δ2_{k+1}(e”, s)] = δ2'_k(e', 2s).
+func fillMapUp(c *pram.Ctx, lv *level) {
+	maxName := int32(-1)
+	for _, e := range lv.pendingMap {
+		for _, name := range e.pn {
+			if name > maxName {
+				maxName = name
+			}
+		}
+	}
+	lv.mapUp = make([]int32, maxName+1)
+	var work int64
+	for i, e := range lv.pendingMap {
+		src := lv.pendingSrc[i]
+		for s := 1; s <= len(e.cells); s++ {
+			lv.mapUp[e.pn[s-1]] = src.pn[2*s-1]
+		}
+		work += int64(len(e.cells))
+	}
+	c.AddWork(work)
+	c.AddDepth(1)
+	lv.pendingMap, lv.pendingSrc = nil, nil
+}
+
+// buildPatternChain computes lpPat over the level-0 names: for every named
+// square content, the largest original pattern that is a sub-prefix (the
+// "diagonal" resolution closing §5).
+func (d *Dict) buildPatternChain(c *pram.Ctx, lv *level, elems []*square) {
+	patAt := make([]int32, len(lv.sideOf))
+	for i := range patAt {
+		patAt[i] = -1
+	}
+	for _, e := range elems {
+		if e.pat >= 0 {
+			patAt[e.pn[len(e.cells)-1]] = e.pat
+		}
+	}
+	d.lpPat = make([]int32, len(lv.sideOf))
+	for i := range d.lpPat {
+		d.lpPat[i] = -1
+	}
+	for _, e := range elems {
+		carry := int32(-1)
+		for _, name := range e.pn {
+			if p := patAt[name]; p >= 0 {
+				carry = p
+			}
+			d.lpPat[name] = carry
+		}
+	}
+	d.nextShort = make([]int32, d.np)
+	for _, e := range elems {
+		if e.pat < 0 {
+			continue
+		}
+		if len(e.cells) == 1 {
+			d.nextShort[e.pat] = -1
+			continue
+		}
+		d.nextShort[e.pat] = d.lpPat[e.pn[len(e.cells)-2]]
+	}
+	c.AddWork(int64(2*len(lv.sideOf)) + int64(d.np))
+	c.AddDepth(int64(log2i(d.maxSide) + 1))
+}
+
+func gridKey(p [][]int32) string {
+	b := make([]byte, 0, 4*len(p)*len(p)+4)
+	for _, row := range p {
+		for _, v := range row {
+			b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		b = append(b, 0xFF, 0xFE, 0xFD, 0xFC)
+	}
+	return string(b)
+}
+
+// buildLevel constructs every table for one level from the S_k elements and
+// returns the S_{k+1} elements.
+func buildLevel(c *pram.Ctx, sElems []*square) (*level, []*square) {
+	lv := &level{}
+
+	// S' = S ∪ S^r ∪ S^c (stripped variants truncated to squares).
+	all := make([]*square, 0, 3*len(sElems))
+	all = append(all, sElems...)
+	for _, e := range sElems {
+		side := len(e.cells)
+		if side < 2 {
+			continue
+		}
+		r := make([][]int32, side-1)  // strip top row
+		cc := make([][]int32, side-1) // strip left column
+		for i := 0; i < side-1; i++ {
+			r[i] = e.cells[i+1][:side-1]
+			cc[i] = e.cells[i][1:side]
+		}
+		all = append(all, &square{cells: r, pat: -1}, &square{cells: cc, pat: -1})
+	}
+
+	namePrefixes(c, lv, all)
+	buildTrunc(c, lv, all)
+	buildLpS(c, lv, all)
+	buildCandidates(c, lv, sElems, all)
+	next := shrink(c, lv, all)
+	return lv, next
+}
+
+// namePrefixes assigns unified δ2 square-prefix names to every element of
+// S' (Lemma 1: row prefix naming, then column prefix naming over row names).
+// Names are counter-allocated through chain tables, so equal (content, side)
+// ⇒ equal name across elements and variants.
+func namePrefixes(c *pram.Ctx, lv *level, all []*square) {
+	rowTab := naming.NewTable(c)
+	colTab := naming.NewTable(c)
+	var rowCounter, colCounter int32
+	var work int64
+	for _, e := range all {
+		side := len(e.cells)
+		// rowName[r][j] = name of e.cells[r][0..j]
+		rowName := make([][]int32, side)
+		for r := 0; r < side; r++ {
+			rowName[r] = make([]int32, side)
+			prev := naming.Empty
+			for j := 0; j < side; j++ {
+				key := naming.EncodePair(prev, e.cells[r][j])
+				got, ins := rowTab.PutIfAbsent(key, rowCounter)
+				if ins {
+					rowCounter++
+				}
+				rowName[r][j] = got
+				prev = got
+			}
+		}
+		// δ2 for square side s: chain down column of rowName[.][s-1].
+		e.pn = make([]int32, side)
+		for s := 1; s <= side; s++ {
+			prev := naming.Empty
+			for r := 0; r < s; r++ {
+				key := naming.EncodePair(prev, rowName[r][s-1])
+				got, ins := colTab.PutIfAbsent(key, colCounter)
+				if ins {
+					colCounter++
+					lv.sideOf = append(lv.sideOf, 0)
+				}
+				prev = got
+			}
+			e.pn[s-1] = prev
+			lv.sideOf[prev] = int32(s)
+		}
+		work += int64(2 * side * side)
+	}
+	c.AddWork(work)
+	c.AddDepth(int64(log2i(maxSideOf(all)) + 1))
+}
+
+// NOTE: the column chains above assign the δ2 name of a side-s prefix from
+// the chain over rows 1..s of column-prefix-names at width s; the chain key
+// sequence is determined by (content, s), so equal squares share names and
+// unequal ones differ — Lemma 1's invariant.
+
+// buildTrunc fills trunc[(δ2(e,b), a)] = δ2(e,a) for a < b (O(side²) per
+// element = O(area)).
+func buildTrunc(c *pram.Ctx, lv *level, all []*square) {
+	tbl := naming.NewTable(c)
+	var work int64
+	for _, e := range all {
+		side := len(e.cells)
+		for b := 2; b <= side; b++ {
+			for a := 1; a < b; a++ {
+				tbl.PutIfAbsent(naming.EncodePair(e.pn[b-1], int32(a)), e.pn[a-1])
+			}
+		}
+		work += int64(side * side)
+	}
+	lv.trunc = naming.Freeze(c, tbl)
+	c.AddWork(work)
+	c.AddDepth(1)
+}
+
+// buildLpS computes, per δ2 name, the largest S_k-sub-prefix name.
+func buildLpS(c *pram.Ctx, lv *level, all []*square) {
+	isS := make([]bool, len(lv.sideOf))
+	for _, e := range all {
+		if !e.isS {
+			continue
+		}
+		for _, name := range e.pn {
+			isS[name] = true
+		}
+	}
+	lv.lpS = make([]int32, len(lv.sideOf))
+	for i := range lv.lpS {
+		lv.lpS[i] = naming.Empty
+	}
+	for _, e := range all {
+		carry := naming.Empty
+		for _, name := range e.pn {
+			if isS[name] {
+				carry = name
+			}
+			lv.lpS[name] = carry
+		}
+	}
+	c.AddWork(int64(2 * len(lv.sideOf)))
+	c.AddDepth(int64(log2i(maxSideOf(all)) + 1))
+}
+
+// buildCandidates stages the odd-extension tuples ⟨n_e, n_r, n_c, corner⟩ →
+// δ2 name of the (2i+1)-side S-prefix, for every S element and odd side.
+// The variants follow the S elements in `all` in insertion order: element j
+// of sElems with side ≥ 2 produced variants; locate them by scanning in
+// lock-step.
+func buildCandidates(c *pram.Ctx, lv *level, sElems, all []*square) {
+	// all = sElems ++ variants (r, c per big-enough element, in order).
+	vi := len(sElems)
+	candA, candB, candC := naming.NewTable(c), naming.NewTable(c), naming.NewTable(c)
+	var tCounter, uCounter int32
+	var work int64
+	for _, e := range sElems {
+		side := len(e.cells)
+		var varR, varC *square
+		if side >= 2 {
+			varR, varC = all[vi], all[vi+1]
+			vi += 2
+		}
+		for l := 1; l <= side; l += 2 {
+			twoI := l - 1
+			nE, nR, nC := naming.Empty, naming.Empty, naming.Empty
+			if twoI > 0 {
+				nE = e.pn[twoI-1]
+				nC = varR.pn[twoI-1] // rows 2..2i+1, cols 1..2i
+				nR = varC.pn[twoI-1] // rows 1..2i, cols 2..2i+1
+			}
+			corner := e.cells[l-1][l-1]
+			t, ins := candA.PutIfAbsent(naming.EncodePair(nE, nR), tCounter)
+			if ins {
+				tCounter++
+			}
+			u, ins := candB.PutIfAbsent(naming.EncodePair(t, nC), uCounter)
+			if ins {
+				uCounter++
+			}
+			candC.PutIfAbsent(naming.EncodePair(u, corner), e.pn[l-1])
+			work += 3
+		}
+	}
+	lv.candA = naming.Freeze(c, candA)
+	lv.candB = naming.Freeze(c, candB)
+	lv.candC = naming.Freeze(c, candC)
+	c.AddWork(work)
+	c.AddDepth(1)
+}
+
+// shrink names the disjoint 2×2 blocks of every S' element and returns the
+// shrunk S_{k+1} elements, recording mapUp.
+func shrink(c *pram.Ctx, lv *level, all []*square) []*square {
+	pairRow, quad := naming.NewTable(c), naming.NewTable(c)
+	var blockCounter int32
+	var pairCounter int32
+	var next []*square
+	var work int64
+	for _, e := range all {
+		side := len(e.cells)
+		h := side / 2
+		if h == 0 {
+			continue
+		}
+		sh := make([][]int32, h)
+		for a := 0; a < h; a++ {
+			sh[a] = make([]int32, h)
+			for b := 0; b < h; b++ {
+				x := blockPair(pairRow, &pairCounter, e.cells[2*a][2*b], e.cells[2*a][2*b+1])
+				y := blockPair(pairRow, &pairCounter, e.cells[2*a+1][2*b], e.cells[2*a+1][2*b+1])
+				got, ins := quad.PutIfAbsent(naming.EncodePair(x, y), blockCounter)
+				if ins {
+					blockCounter++
+				}
+				sh[a][b] = got
+			}
+		}
+		next = append(next, &square{cells: sh, isS: true, pat: -1})
+		work += int64(side * side)
+	}
+	lv.pairRow = naming.Freeze(c, pairRow)
+	lv.quad = naming.Freeze(c, quad)
+	c.AddWork(work)
+	c.AddDepth(1)
+
+	// mapUp needs the next level's δ2 names, which are assigned when the
+	// next level is built; stash the pairing for deferred fill.
+	lv.pendingMap = next
+	lv.pendingSrc = withSideAtLeast(all, 2)
+	return next
+}
+
+func withSideAtLeast(all []*square, s int) []*square {
+	out := make([]*square, 0, len(all))
+	for _, e := range all {
+		if len(e.cells) >= s {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func blockPair(tab *naming.Table, counter *int32, a, b int32) int32 {
+	got, ins := tab.PutIfAbsent(naming.EncodePair(a, b), *counter)
+	if ins {
+		*counter++
+	}
+	return got
+}
+
+func maxSideOf(all []*square) int {
+	m := 1
+	for _, e := range all {
+		if len(e.cells) > m {
+			m = len(e.cells)
+		}
+	}
+	return m
+}
+
+func log2i(x int) int {
+	b := 0
+	for 1<<b < x {
+		b++
+	}
+	return b
+}

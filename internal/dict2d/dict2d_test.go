@@ -1,0 +1,311 @@
+package dict2d
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+	"pardict/internal/workload"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func grid(rows ...string) [][]int32 {
+	out := make([][]int32, len(rows))
+	for i, r := range rows {
+		out[i] = make([]int32, len(r))
+		for j := range r {
+			out[i][j] = int32(r[j])
+		}
+	}
+	return out
+}
+
+func check(t *testing.T, pats [][][]int32, text [][]int32) {
+	t.Helper()
+	c := ctx()
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	r, err := d.Match(c, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSide, _ := naive.LongestSquarePrefix2D(pats, text)
+	wantPat := naive.LargestFullMatch2D(pats, text)
+	for i := range text {
+		for j := range text[i] {
+			if r.Side[i][j] != wantSide[i][j] {
+				t.Fatalf("cell (%d,%d): side %d want %d", i, j, r.Side[i][j], wantSide[i][j])
+			}
+			if r.Pat[i][j] != wantPat[i][j] {
+				t.Fatalf("cell (%d,%d): pat %d want %d", i, j, r.Pat[i][j], wantPat[i][j])
+			}
+		}
+	}
+}
+
+func TestSingleCellPattern(t *testing.T) {
+	check(t, [][][]int32{grid("a")}, grid("aba", "bab"))
+}
+
+func TestBasic2x2(t *testing.T) {
+	pats := [][][]int32{grid("ab", "cd")}
+	text := grid(
+		"abab",
+		"cdcd",
+		"abab",
+		"cdcd",
+	)
+	check(t, pats, text)
+}
+
+func TestMixedSizes(t *testing.T) {
+	pats := [][][]int32{
+		grid("a"),
+		grid("ab", "ca"),
+		grid("abx", "cay", "zzz"),
+	}
+	text := grid(
+		"abxab",
+		"cayca",
+		"zzzzz",
+		"abxab",
+		"cayca",
+	)
+	check(t, pats, text)
+}
+
+func TestOddSides(t *testing.T) {
+	pats := [][][]int32{
+		grid("abc", "def", "ghi"),
+		grid("abcde", "fghij", "klmno", "pqrst", "uvwxy"),
+	}
+	text := grid(
+		"abcdeab",
+		"fghijde",
+		"klmnogh",
+		"pqrstij",
+		"uvwxykl",
+		"abcdeab",
+		"defdefg",
+	)
+	check(t, pats, text)
+}
+
+func TestRandomSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		sigma := 1 + rng.Intn(3)
+		np := 1 + rng.Intn(4)
+		pats := make([][][]int32, 0, np)
+		seen := map[string]bool{}
+		for len(pats) < np {
+			side := 1 + rng.Intn(6)
+			p := make([][]int32, side)
+			for a := range p {
+				p[a] = make([]int32, side)
+				for b := range p[a] {
+					p[a][b] = int32(rng.Intn(sigma))
+				}
+			}
+			k := gridKey(p)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			pats = append(pats, p)
+		}
+		rows, cols := 1+rng.Intn(14), 1+rng.Intn(14)
+		text := make([][]int32, rows)
+		for i := range text {
+			text[i] = make([]int32, cols)
+			for j := range text[i] {
+				text[i][j] = int32(rng.Intn(sigma))
+			}
+		}
+		check(t, pats, text)
+	}
+}
+
+func TestRandomLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 6; trial++ {
+		sigma := 2
+		pats := workload.SquarePatterns(int64(trial), 4, 2+rng.Intn(12), sigma)
+		text := workload.Grid(int64(trial)+100, 30, 30, sigma, 0.3)
+		// Plant one occurrence so matches exist.
+		p := pats[0]
+		workload.PlantGrid(text, p, 5, 7)
+		check(t, pats, text)
+	}
+}
+
+func TestPlantedLarge(t *testing.T) {
+	for _, side := range []int{9, 16, 21, 32} {
+		pats := workload.SquarePatterns(int64(side), 1, side, 3)
+		// Shift the pattern's alphabet so only the plant matches.
+		for _, row := range pats[0] {
+			for j := range row {
+				row[j] += 5
+			}
+		}
+		text := workload.Grid(int64(side)+7, 2*side+3, 2*side+3, 3, 0.2)
+		workload.PlantGrid(text, pats[0], 3, side-1)
+		c := ctx()
+		d, err := Preprocess(c, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Match(c, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range text {
+			for j := range text[i] {
+				want := int32(-1)
+				if i == 3 && j == side-1 {
+					want = 0
+				}
+				if r.Pat[i][j] != want {
+					t.Fatalf("side=%d cell (%d,%d): got %d want %d", side, i, j, r.Pat[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNestedSquares(t *testing.T) {
+	// Patterns nested at the corner: 1x1, 2x2, 3x3, 4x4, 5x5 all-zero.
+	var pats [][][]int32
+	for s := 1; s <= 5; s++ {
+		p := make([][]int32, s)
+		for i := range p {
+			p[i] = make([]int32, s)
+		}
+		pats = append(pats, p)
+	}
+	text := make([][]int32, 9)
+	for i := range text {
+		text[i] = make([]int32, 9)
+	}
+	check(t, pats, text)
+}
+
+func TestErrors(t *testing.T) {
+	c := ctx()
+	if _, err := Preprocess(c, [][][]int32{{}}); err != ErrEmptyPattern {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Preprocess(c, [][][]int32{grid("ab", "c")}); err != ErrNotSquare {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Preprocess(c, [][][]int32{grid("a"), grid("a")}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	d, err := Preprocess(c, [][][]int32{grid("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Match(c, grid("ab", "c")); err != ErrRagged {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyDictAndText(t *testing.T) {
+	c := ctx()
+	d, err := Preprocess(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Match(c, grid("ab", "cd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Pat {
+		for j := range r.Pat[i] {
+			if r.Pat[i][j] != -1 {
+				t.Fatal("empty dict matched")
+			}
+		}
+	}
+	if _, err := d.Match(c, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextSmallerThanPatterns(t *testing.T) {
+	pats := workload.SquarePatterns(3, 2, 6, 2)
+	text := workload.Grid(5, 3, 3, 2, 0.1)
+	check(t, pats, text)
+}
+
+func TestPrefixSquareSides(t *testing.T) {
+	// Verify Side (prefix matching) on a handcrafted case where the largest
+	// square-prefix is strictly larger than any full pattern match.
+	pats := [][][]int32{grid("abc", "def", "ghi")}
+	text := grid("ab", "de") // matches the 2x2 prefix only
+	c := ctx()
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Match(c, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Side[0][0] != 2 || r.Pat[0][0] != -1 {
+		t.Fatalf("side=%d pat=%d, want side=2 pat=-1", r.Side[0][0], r.Pat[0][0])
+	}
+}
+
+func TestAllMatches2D(t *testing.T) {
+	// Nested corner squares 1..4 plus an unrelated pattern.
+	var pats [][][]int32
+	big := grid("abcd", "efgh", "ijkl", "mnop")
+	for s := 1; s <= 4; s++ {
+		p := make([][]int32, s)
+		for i := 0; i < s; i++ {
+			p[i] = big[i][:s]
+		}
+		pats = append(pats, p)
+	}
+	pats = append(pats, grid("zz", "zz"))
+	c := ctx()
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := big
+	r, err := d.Match(c, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.AllMatches(r, 0, 0, nil)
+	want := []int32{3, 2, 1, 0} // sides 4,3,2,1
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	if out := d.AllMatches(r, 0, 1, nil); len(out) != 0 {
+		t.Fatalf("cell (0,1): %v", out)
+	}
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	c := ctx()
+	d, err := Preprocess(c, [][][]int32{grid("ab", "cd"), grid("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxSide() != 2 || d.PatternCount() != 2 {
+		t.Fatalf("MaxSide=%d PatternCount=%d", d.MaxSide(), d.PatternCount())
+	}
+}

@@ -1,0 +1,218 @@
+package dict2d
+
+import (
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Result holds the per-cell output of 2-D dictionary matching.
+type Result struct {
+	// Side[i][j] is the side of the largest dictionary square-prefix whose
+	// top-left corner matches at (i, j).
+	Side [][]int32
+	// Name[i][j] is that prefix's unified name (naming.Empty when Side 0).
+	Name [][]int32
+	// Pat[i][j] is the index of the largest full pattern matching at (i, j),
+	// or -1.
+	Pat [][]int32
+}
+
+// Match runs 2-D dictionary matching on a rectangular text (Theorem 6:
+// O(n·log m) work, O(log m) depth).
+func (d *Dict) Match(c *pram.Ctx, text [][]int32) (*Result, error) {
+	rows := len(text)
+	cols := 0
+	if rows > 0 {
+		cols = len(text[0])
+		for _, row := range text {
+			if len(row) != cols {
+				return nil, ErrRagged
+			}
+		}
+	}
+	r := &Result{
+		Side: makeGrid(c, rows, cols, 0),
+		Name: makeGrid(c, rows, cols, naming.Empty),
+		Pat:  makeGrid(c, rows, cols, -1),
+	}
+	if rows == 0 || cols == 0 || d.maxSide == 0 {
+		return r, nil
+	}
+
+	grids := d.spawnGrids(c, text, rows, cols)
+	d.unwind(c, grids, r, rows, cols)
+
+	c.For(rows, func(i int) {
+		for j := 0; j < cols; j++ {
+			if name := r.Name[i][j]; name != naming.Empty {
+				r.Pat[i][j] = d.lpPat[name]
+			}
+		}
+	})
+	c.AddWork(cellWork(rows, cols))
+	return r, nil
+}
+
+// cellWork is the per-phase work of a grid pass beyond the row-level charge
+// the parallel-for already made: rows·cols cells total.
+func cellWork(rows, cols int) int64 {
+	return int64(rows) * int64(cols-1)
+}
+
+func makeGrid(c *pram.Ctx, rows, cols int, v int32) [][]int32 {
+	g := make([][]int32, rows)
+	c.For(rows, func(i int) {
+		g[i] = make([]int32, cols)
+		for j := range g[i] {
+			g[i][j] = v
+		}
+	})
+	return g
+}
+
+// spawnGrids computes the level-k block-name grid at every cell: grids[k][i][j]
+// names the 2^k × 2^k text block cornered at (i, j), or naming.None.
+func (d *Dict) spawnGrids(c *pram.Ctx, text [][]int32, rows, cols int) [][][]int32 {
+	grids := make([][][]int32, len(d.levels))
+	grids[0] = text
+	for k := 1; k < len(d.levels); k++ {
+		lv := d.levels[k-1]
+		g := 1 << uint(k-1)
+		prev := grids[k-1]
+		cur := make([][]int32, rows)
+		c.For(rows, func(i int) {
+			cur[i] = make([]int32, cols)
+			for j := 0; j < cols; j++ {
+				cur[i][j] = quadName(lv, prev, i, j, g, rows, cols)
+			}
+		})
+		c.AddWork(cellWork(rows, cols))
+		grids[k] = cur
+	}
+	return grids
+}
+
+func quadName(lv *level, prev [][]int32, i, j, g, rows, cols int) int32 {
+	if i+g >= rows || j+g >= cols {
+		return naming.None
+	}
+	a, b := prev[i][j], prev[i][j+g]
+	cc, dd := prev[i+g][j], prev[i+g][j+g]
+	if a == naming.None || b == naming.None || cc == naming.None || dd == naming.None {
+		return naming.None
+	}
+	x, ok := lv.pairRow.Get(naming.EncodePair(a, b))
+	if !ok {
+		return naming.None
+	}
+	y, ok := lv.pairRow.Get(naming.EncodePair(cc, dd))
+	if !ok {
+		return naming.None
+	}
+	return lv.quad.Lookup(naming.EncodePair(x, y))
+}
+
+// unwind descends the levels; entering level k, r.Side/r.Name hold the
+// largest S_{k+1}-prefix per cell (level-(k+1) units/names) and leave with
+// the largest S_k-prefix.
+func (d *Dict) unwind(c *pram.Ctx, grids [][][]int32, r *Result, rows, cols int) {
+	for k := len(d.levels) - 1; k >= 0; k-- {
+		lv := d.levels[k]
+		g := 1 << uint(k)
+		grid := grids[k]
+		newSide := make([][]int32, rows)
+		newName := make([][]int32, rows)
+		c.For(rows, func(i int) {
+			newSide[i] = make([]int32, cols)
+			newName[i] = make([]int32, cols)
+			for j := 0; j < cols; j++ {
+				s, n := d.extendCell(lv, grid, r, i, j, g, rows, cols)
+				newSide[i][j] = s
+				newName[i][j] = n
+			}
+		})
+		c.AddWork(cellWork(rows, cols))
+		r.Side, r.Name = newSide, newName
+	}
+	// Sides are now in level-0 units = original characters.
+}
+
+// extendCell implements the Step 4b case analysis for one cell.
+func (d *Dict) extendCell(lv *level, grid [][]int32, r *Result, i, j, g, rows, cols int) (int32, int32) {
+	twoI := 2 * int(r.Side[i][j])
+	alpha := naming.Empty
+	if twoI > 0 {
+		alpha = lv.mapUp[r.Name[i][j]]
+	}
+
+	// Default: largest S_k-sub-prefix of α (Case 1 / the "α stands" case).
+	bestSide, bestName := int32(0), naming.Empty
+	if alpha != naming.Empty {
+		if lp := lv.lpS[alpha]; lp != naming.Empty {
+			bestName = lp
+			bestSide = lv.sideOf[lp]
+		}
+	}
+
+	// Odd candidate of side 2i+1 (Case 2).
+	ci, cj := i+twoI*g, j+twoI*g
+	if ci >= rows || cj >= cols {
+		return bestSide, bestName
+	}
+	corner := grid[ci][cj]
+	if corner == naming.None {
+		return bestSide, bestName
+	}
+	nE, nR, nC := naming.Empty, naming.Empty, naming.Empty
+	if twoI > 0 {
+		nE = alpha
+		var ok bool
+		if nR, ok = d.alphaTrunc(lv, r, i, j+g, twoI, rows, cols); !ok {
+			return bestSide, bestName
+		}
+		if nC, ok = d.alphaTrunc(lv, r, i+g, j, twoI, rows, cols); !ok {
+			return bestSide, bestName
+		}
+	}
+	t, ok := lv.candA.Get(naming.EncodePair(nE, nR))
+	if !ok {
+		return bestSide, bestName
+	}
+	u, ok := lv.candB.Get(naming.EncodePair(t, nC))
+	if !ok {
+		return bestSide, bestName
+	}
+	if v, ok := lv.candC.Get(naming.EncodePair(u, corner)); ok {
+		return int32(twoI + 1), v
+	}
+	return bestSide, bestName
+}
+
+// alphaTrunc returns the unified name of the side-twoI square cornered at
+// neighbour cell (i, j), derived by truncating that cell's α value; ok is
+// false when no such S'-prefix matches there.
+func (d *Dict) alphaTrunc(lv *level, r *Result, i, j, twoI int, rows, cols int) (int32, bool) {
+	if i >= rows || j >= cols {
+		return naming.Empty, false
+	}
+	side := 2 * int(r.Side[i][j])
+	if side < twoI {
+		return naming.Empty, false
+	}
+	name := lv.mapUp[r.Name[i][j]]
+	if side == twoI {
+		return name, true
+	}
+	v, ok := lv.trunc.Get(naming.EncodePair(name, int32(twoI)))
+	return v, ok
+}
+
+// AllMatches appends to dst every pattern whose corner matches at cell
+// (i, j) of a Result, largest side first (output-sensitive expansion via the
+// sub-prefix chain).
+func (d *Dict) AllMatches(r *Result, i, j int, dst []int32) []int32 {
+	for p := r.Pat[i][j]; p >= 0; p = d.nextShort[p] {
+		dst = append(dst, p)
+	}
+	return dst
+}

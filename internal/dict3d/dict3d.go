@@ -1,0 +1,484 @@
+// Package dict3d extends the §5 two-dimensional dictionary-matching
+// algorithm to three dimensions, the d = 3 instance of the paper's
+// "extensions to d-dimensional dictionary matching for a fixed d are
+// straightforward" claim: cube patterns of (possibly) different sides are
+// matched in O(log m) depth and O(n·log m) matching work.
+//
+// The construction mirrors package dict2d:
+//
+//   - S'_k = S_k plus six stripped variants, one per nonempty proper subset
+//     of the axes (strip the first slice along each axis in the subset,
+//     truncated back to a cube). A candidate cube of odd side 2i+1 is
+//     covered by the seven side-2i sub-cubes at offsets v ∈ {0,1}³ \ {111}
+//     — each a prefix of the corresponding variant — plus the far-corner
+//     cell, generalizing the ⟨n_e, n_r, n_c, corner⟩ namestamp of §5 Step 4b.
+//     With 7 pieces per element the per-level set size is 7M/8 of the
+//     previous level: the geometric decay that keeps preprocessing at O(M).
+//   - Unified cube-prefix names δ3 (x-chain, then y-chain over row names,
+//     then z-chain over slice names — Lemma 1 applied twice) make the
+//     cross-variant case analysis plain table lookups.
+//   - Shrinking names disjoint 2×2×2 blocks; the spawned texts are the
+//     stride-2^k subsamplings of the per-level block grid.
+package dict3d
+
+import (
+	"errors"
+	"fmt"
+
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Errors reported by Preprocess and Match.
+var (
+	ErrNotCube      = errors.New("dict3d: patterns must be cubes")
+	ErrEmptyPattern = errors.New("dict3d: empty pattern")
+	ErrDuplicate    = errors.New("dict3d: duplicate pattern")
+	ErrRagged       = errors.New("dict3d: text must be a rectangular box")
+)
+
+// variants enumerates the six proper nonempty axis subsets (vz, vy, vx),
+// in the fixed order the candidate tuples are staged in.
+var variants = [6][3]int{
+	{0, 0, 1}, {0, 1, 0}, {0, 1, 1}, {1, 0, 0}, {1, 0, 1}, {1, 1, 0},
+}
+
+// Dict is a preprocessed 3-D dictionary. Immutable after Preprocess; safe
+// for concurrent Match calls.
+type Dict struct {
+	levels  []*level
+	lpPat   []int32
+	maxSide int
+	np      int
+}
+
+type level struct {
+	// Block naming: 2×2×2 block -> level-(k+1) symbol, staged as x-pairs,
+	// y-pairs of x-pair names, z-pairs of those.
+	pairX, pairY, pairZ *naming.Frozen
+
+	sideOf []int32
+	trunc  *naming.Frozen
+	lpS    []int32
+
+	// Candidate staging: 7 chained tables combine the seven piece names,
+	// the last combining with the corner symbol.
+	cand [7]*naming.Frozen
+
+	mapUp []int32
+
+	pendingMap []*cube
+	pendingSrc []*cube
+}
+
+// cube is one element of S'_k with δ3 prefix names per side.
+type cube struct {
+	cells [][][]int32 // side × side × side, cells[z][y][x]
+	pn    []int32     // pn[s-1] = δ3 name of the side-s prefix
+	isS   bool
+	pat   int32
+}
+
+func (e *cube) side() int { return len(e.cells) }
+
+// MaxSide reports m, the largest pattern side.
+func (d *Dict) MaxSide() int { return d.maxSide }
+
+// PatternCount reports the number of patterns.
+func (d *Dict) PatternCount() int { return d.np }
+
+// Preprocess builds the dictionary from cube patterns in O(M) work.
+func Preprocess(c *pram.Ctx, patterns [][][][]int32) (*Dict, error) {
+	d := &Dict{np: len(patterns)}
+	elems := make([]*cube, 0, len(patterns))
+	seen := map[string]int{}
+	for pi, p := range patterns {
+		side := len(p)
+		if side == 0 {
+			return nil, ErrEmptyPattern
+		}
+		for _, slice := range p {
+			if len(slice) != side {
+				return nil, ErrNotCube
+			}
+			for _, row := range slice {
+				if len(row) != side {
+					return nil, ErrNotCube
+				}
+			}
+		}
+		k := cubeKey(p)
+		if prev, ok := seen[k]; ok {
+			return nil, fmt.Errorf("%w: patterns %d and %d", ErrDuplicate, prev, pi)
+		}
+		seen[k] = pi
+		if side > d.maxSide {
+			d.maxSide = side
+		}
+		elems = append(elems, &cube{cells: p, isS: true, pat: int32(pi)})
+	}
+	if d.maxSide == 0 {
+		return d, nil
+	}
+
+	var prev *level
+	for len(elems) > 0 {
+		lv, next := buildLevel(c, elems)
+		d.levels = append(d.levels, lv)
+		if prev != nil {
+			fillMapUp(c, prev)
+		}
+		if len(d.levels) == 1 {
+			d.buildPatternChain(c, lv, elems)
+		}
+		elems = next
+		prev = lv
+	}
+	if prev != nil {
+		prev.pendingMap, prev.pendingSrc = nil, nil
+	}
+	return d, nil
+}
+
+func cubeKey(p [][][]int32) string {
+	b := make([]byte, 0, 4*len(p)*len(p)*len(p))
+	for _, slice := range p {
+		for _, row := range slice {
+			for _, v := range row {
+				b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+		}
+	}
+	return string(b)
+}
+
+func buildLevel(c *pram.Ctx, sElems []*cube) (*level, []*cube) {
+	lv := &level{}
+
+	// S' = S plus the six stripped variants of each big-enough element.
+	all := make([]*cube, 0, 7*len(sElems))
+	all = append(all, sElems...)
+	for _, e := range sElems {
+		side := e.side()
+		if side < 2 {
+			continue
+		}
+		for _, v := range variants {
+			t := side - 1
+			cells := make([][][]int32, t)
+			for z := 0; z < t; z++ {
+				cells[z] = make([][]int32, t)
+				for y := 0; y < t; y++ {
+					cells[z][y] = e.cells[z+v[0]][y+v[1]][v[2] : v[2]+t]
+				}
+			}
+			all = append(all, &cube{cells: cells, pat: -1})
+		}
+	}
+
+	namePrefixes(c, lv, all)
+	buildTrunc(c, lv, all)
+	buildLpS(c, lv, all)
+	buildCandidates(c, lv, sElems, all)
+	next := shrink(c, lv, all)
+	return lv, next
+}
+
+// namePrefixes assigns unified δ3 cube-prefix names: x-chains name row
+// prefixes, y-chains over row names name rectangle prefixes per slice, and
+// z-chains over slice-rectangle names name cube prefixes (Lemma 1 twice).
+func namePrefixes(c *pram.Ctx, lv *level, all []*cube) {
+	rowTab := naming.NewTable(c)
+	rectTab := naming.NewTable(c)
+	cubeTab := naming.NewTable(c)
+	var rowCtr, rectCtr, cubeCtr int32
+	var work int64
+	for _, e := range all {
+		side := e.side()
+		// rowName[z][y][x] = name of e[z][y][0..x].
+		rowName := make([][][]int32, side)
+		for z := 0; z < side; z++ {
+			rowName[z] = make([][]int32, side)
+			for y := 0; y < side; y++ {
+				rowName[z][y] = make([]int32, side)
+				prev := naming.Empty
+				for x := 0; x < side; x++ {
+					got, ins := rowTab.PutIfAbsent(naming.EncodePair(prev, e.cells[z][y][x]), rowCtr)
+					if ins {
+						rowCtr++
+					}
+					rowName[z][y][x] = got
+					prev = got
+				}
+			}
+		}
+		// rectName[z][s] = name of slice z's s×s corner rectangle.
+		rectName := make([][]int32, side)
+		for z := 0; z < side; z++ {
+			rectName[z] = make([]int32, side+1)
+			for s := 1; s <= side; s++ {
+				prev := naming.Empty
+				for y := 0; y < s; y++ {
+					got, ins := rectTab.PutIfAbsent(naming.EncodePair(prev, rowName[z][y][s-1]), rectCtr)
+					if ins {
+						rectCtr++
+					}
+					prev = got
+				}
+				rectName[z][s] = prev
+			}
+		}
+		// δ3 per side: z-chain over rectName[z][s].
+		e.pn = make([]int32, side)
+		for s := 1; s <= side; s++ {
+			prev := naming.Empty
+			for z := 0; z < s; z++ {
+				got, ins := cubeTab.PutIfAbsent(naming.EncodePair(prev, rectName[z][s]), cubeCtr)
+				if ins {
+					cubeCtr++
+					lv.sideOf = append(lv.sideOf, 0)
+				}
+				prev = got
+			}
+			e.pn[s-1] = prev
+			lv.sideOf[prev] = int32(s)
+		}
+		work += int64(3 * side * side * side)
+	}
+	c.AddWork(work)
+	c.AddDepth(int64(log2i(maxSideOf(all)) + 1))
+}
+
+func buildTrunc(c *pram.Ctx, lv *level, all []*cube) {
+	tbl := naming.NewTable(c)
+	var work int64
+	for _, e := range all {
+		side := e.side()
+		for b := 2; b <= side; b++ {
+			for a := 1; a < b; a++ {
+				tbl.PutIfAbsent(naming.EncodePair(e.pn[b-1], int32(a)), e.pn[a-1])
+			}
+		}
+		work += int64(side * side)
+	}
+	lv.trunc = naming.Freeze(c, tbl)
+	c.AddWork(work)
+	c.AddDepth(1)
+}
+
+func buildLpS(c *pram.Ctx, lv *level, all []*cube) {
+	isS := make([]bool, len(lv.sideOf))
+	for _, e := range all {
+		if !e.isS {
+			continue
+		}
+		for _, name := range e.pn {
+			isS[name] = true
+		}
+	}
+	lv.lpS = make([]int32, len(lv.sideOf))
+	for i := range lv.lpS {
+		lv.lpS[i] = naming.Empty
+	}
+	for _, e := range all {
+		carry := naming.Empty
+		for _, name := range e.pn {
+			if isS[name] {
+				carry = name
+			}
+			lv.lpS[name] = carry
+		}
+	}
+	c.AddWork(int64(2 * len(lv.sideOf)))
+	c.AddDepth(int64(log2i(maxSideOf(all)) + 1))
+}
+
+// buildCandidates stages, per S element and odd side 2i+1, the namestamp of
+// the seven side-2i piece names plus the far-corner symbol.
+func buildCandidates(c *pram.Ctx, lv *level, sElems, all []*cube) {
+	vi := len(sElems)
+	var tabs [7]*naming.Table
+	for i := range tabs {
+		tabs[i] = naming.NewTable(c)
+	}
+	var counters [6]int32
+	var work int64
+	for _, e := range sElems {
+		side := e.side()
+		var vars [6]*cube
+		if side >= 2 {
+			for t := 0; t < 6; t++ {
+				vars[t] = all[vi]
+				vi++
+			}
+		}
+		for l := 1; l <= side; l += 2 {
+			twoI := l - 1
+			// Piece names in fixed order: v=(0,0,0) is e itself, then the
+			// six variants.
+			var pieces [7]int32
+			if twoI > 0 {
+				pieces[0] = e.pn[twoI-1]
+				for t := 0; t < 6; t++ {
+					pieces[t+1] = vars[t].pn[twoI-1]
+				}
+			} else {
+				for t := range pieces {
+					pieces[t] = naming.Empty
+				}
+			}
+			corner := e.cells[l-1][l-1][l-1]
+			// Stage: s1=(p0,p1), s2=(s1,p2), ..., s6=(s5,p6),
+			// final cand[6]: (s6, corner) -> δ3 name of the (2i+1)-prefix.
+			cur := pieces[0]
+			for t := 0; t < 6; t++ {
+				got, ins := tabs[t].PutIfAbsent(naming.EncodePair(cur, pieces[t+1]), counters[t])
+				if ins {
+					counters[t]++
+				}
+				cur = got
+			}
+			tabs[6].PutIfAbsent(naming.EncodePair(cur, corner), e.pn[l-1])
+			work += 7
+		}
+	}
+	for i := range tabs {
+		lv.cand[i] = naming.Freeze(c, tabs[i])
+	}
+	c.AddWork(work)
+	c.AddDepth(1)
+}
+
+// shrink names disjoint 2×2×2 blocks of every S' element and returns the
+// shrunk S_{k+1} elements, deferring mapUp.
+func shrink(c *pram.Ctx, lv *level, all []*cube) []*cube {
+	pairX, pairY, pairZ := naming.NewTable(c), naming.NewTable(c), naming.NewTable(c)
+	var xCtr, yCtr, zCtr int32
+	var next []*cube
+	var work int64
+	for _, e := range all {
+		side := e.side()
+		h := side / 2
+		if h == 0 {
+			continue
+		}
+		sh := make([][][]int32, h)
+		for a := 0; a < h; a++ {
+			sh[a] = make([][]int32, h)
+			for b := 0; b < h; b++ {
+				sh[a][b] = make([]int32, h)
+				for g := 0; g < h; g++ {
+					sh[a][b][g] = blockName(pairX, pairY, pairZ, &xCtr, &yCtr, &zCtr, e.cells, 2*a, 2*b, 2*g)
+				}
+			}
+		}
+		next = append(next, &cube{cells: sh, isS: true, pat: -1})
+		work += int64(side * side * side)
+	}
+	lv.pairX = naming.Freeze(c, pairX)
+	lv.pairY = naming.Freeze(c, pairY)
+	lv.pairZ = naming.Freeze(c, pairZ)
+	c.AddWork(work)
+	c.AddDepth(1)
+
+	lv.pendingMap = next
+	lv.pendingSrc = withSideAtLeast(all, 2)
+	return next
+}
+
+// blockName names the 2×2×2 block cornered at (z,y,x) of cells via the
+// three-stage pair tables.
+func blockName(pairX, pairY, pairZ *naming.Table, xCtr, yCtr, zCtr *int32, cells [][][]int32, z, y, x int) int32 {
+	pair := func(tab *naming.Table, ctr *int32, a, b int32) int32 {
+		got, ins := tab.PutIfAbsent(naming.EncodePair(a, b), *ctr)
+		if ins {
+			*ctr++
+		}
+		return got
+	}
+	x00 := pair(pairX, xCtr, cells[z][y][x], cells[z][y][x+1])
+	x01 := pair(pairX, xCtr, cells[z][y+1][x], cells[z][y+1][x+1])
+	x10 := pair(pairX, xCtr, cells[z+1][y][x], cells[z+1][y][x+1])
+	x11 := pair(pairX, xCtr, cells[z+1][y+1][x], cells[z+1][y+1][x+1])
+	y0 := pair(pairY, yCtr, x00, x01)
+	y1 := pair(pairY, yCtr, x10, x11)
+	return pair(pairZ, zCtr, y0, y1)
+}
+
+func withSideAtLeast(all []*cube, s int) []*cube {
+	out := make([]*cube, 0, len(all))
+	for _, e := range all {
+		if e.side() >= s {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func fillMapUp(c *pram.Ctx, lv *level) {
+	maxName := int32(-1)
+	for _, e := range lv.pendingMap {
+		for _, name := range e.pn {
+			if name > maxName {
+				maxName = name
+			}
+		}
+	}
+	lv.mapUp = make([]int32, maxName+1)
+	var work int64
+	for i, e := range lv.pendingMap {
+		src := lv.pendingSrc[i]
+		for s := 1; s <= e.side(); s++ {
+			lv.mapUp[e.pn[s-1]] = src.pn[2*s-1]
+		}
+		work += int64(e.side())
+	}
+	c.AddWork(work)
+	c.AddDepth(1)
+	lv.pendingMap, lv.pendingSrc = nil, nil
+}
+
+func (d *Dict) buildPatternChain(c *pram.Ctx, lv *level, elems []*cube) {
+	patAt := make([]int32, len(lv.sideOf))
+	for i := range patAt {
+		patAt[i] = -1
+	}
+	for _, e := range elems {
+		if e.pat >= 0 {
+			patAt[e.pn[e.side()-1]] = e.pat
+		}
+	}
+	d.lpPat = make([]int32, len(lv.sideOf))
+	for i := range d.lpPat {
+		d.lpPat[i] = -1
+	}
+	for _, e := range elems {
+		carry := int32(-1)
+		for _, name := range e.pn {
+			if p := patAt[name]; p >= 0 {
+				carry = p
+			}
+			d.lpPat[name] = carry
+		}
+	}
+	c.AddWork(int64(2 * len(lv.sideOf)))
+	c.AddDepth(int64(log2i(d.maxSide) + 1))
+}
+
+func maxSideOf(all []*cube) int {
+	m := 1
+	for _, e := range all {
+		if e.side() > m {
+			m = e.side()
+		}
+	}
+	return m
+}
+
+func log2i(x int) int {
+	b := 0
+	for 1<<b < x {
+		b++
+	}
+	return b
+}

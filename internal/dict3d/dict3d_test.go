@@ -1,0 +1,283 @@
+package dict3d
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func randCube(rng *rand.Rand, s, sigma int, shift int32) [][][]int32 {
+	p := make([][][]int32, s)
+	for z := range p {
+		p[z] = make([][]int32, s)
+		for y := range p[z] {
+			p[z][y] = make([]int32, s)
+			for x := range p[z][y] {
+				p[z][y][x] = int32(rng.Intn(sigma)) + shift
+			}
+		}
+	}
+	return p
+}
+
+func check(t *testing.T, pats [][][][]int32, text [][][]int32) {
+	t.Helper()
+	c := ctx()
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Fatalf("Preprocess: %v", err)
+	}
+	r, err := d.Match(c, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSide, _ := naive.LongestCubePrefix3D(pats, text)
+	wantPat := naive.LargestFullMatch3D(pats, text)
+	for z := range text {
+		for y := range text[z] {
+			for x := range text[z][y] {
+				if r.Side[z][y][x] != wantSide[z][y][x] {
+					t.Fatalf("cell (%d,%d,%d): side %d want %d",
+						z, y, x, r.Side[z][y][x], wantSide[z][y][x])
+				}
+				if r.Pat[z][y][x] != wantPat[z][y][x] {
+					t.Fatalf("cell (%d,%d,%d): pat %d want %d",
+						z, y, x, r.Pat[z][y][x], wantPat[z][y][x])
+				}
+			}
+		}
+	}
+}
+
+func TestSingleCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pats := [][][][]int32{{{{7}}}}
+	text := randCube(rng, 4, 8, 0)
+	text[1][2][3] = 7
+	check(t, pats, text)
+}
+
+func TestSide2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := randCube(rng, 2, 2, 10)
+	text := randCube(rng, 6, 2, 0)
+	plant(text, p, 1, 2, 3)
+	check(t, [][][][]int32{p}, text)
+}
+
+func plant(text, p [][][]int32, z, y, x int) {
+	for a := range p {
+		for b := range p[a] {
+			copy(text[z+a][y+b][x:], p[a][b])
+		}
+	}
+}
+
+func TestOddSides(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range []int{3, 5, 7} {
+		p := randCube(rng, s, 3, 10)
+		text := randCube(rng, 2*s+2, 3, 0)
+		plant(text, p, 1, s-1, 2)
+		check(t, [][][][]int32{p}, text)
+	}
+}
+
+func TestMixedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pats := [][][][]int32{
+		randCube(rng, 1, 2, 0),
+		randCube(rng, 2, 2, 0),
+		randCube(rng, 4, 2, 0),
+		randCube(rng, 5, 2, 0),
+	}
+	text := randCube(rng, 12, 2, 0)
+	plant(text, pats[3], 2, 3, 4)
+	plant(text, pats[2], 7, 0, 1)
+	check(t, pats, text)
+}
+
+func TestNestedCubes(t *testing.T) {
+	// Nested all-zero cubes: sizes 1..5, every position matching several.
+	var pats [][][][]int32
+	for s := 1; s <= 5; s++ {
+		p := make([][][]int32, s)
+		for z := range p {
+			p[z] = make([][]int32, s)
+			for y := range p[z] {
+				p[z][y] = make([]int32, s)
+			}
+		}
+		pats = append(pats, p)
+	}
+	text := make([][][]int32, 8)
+	for z := range text {
+		text[z] = make([][]int32, 8)
+		for y := range text[z] {
+			text[z][y] = make([]int32, 8)
+		}
+	}
+	check(t, pats, text)
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		sigma := 1 + rng.Intn(2)
+		np := 1 + rng.Intn(3)
+		seen := map[string]bool{}
+		var pats [][][][]int32
+		for attempts := 0; len(pats) < np && attempts < 50; attempts++ {
+			p := randCube(rng, 1+rng.Intn(4), sigma, 0)
+			k := cubeKey(p)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			pats = append(pats, p)
+		}
+		text := randCube(rng, 3+rng.Intn(7), sigma, 0)
+		check(t, pats, text)
+	}
+}
+
+func TestPlantedLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range []int{6, 9, 12} {
+		p := randCube(rng, s, 3, 10) // disjoint alphabet: only the plant matches
+		text := randCube(rng, 2*s+1, 3, 0)
+		plant(text, p, 2, 3, s-2)
+		c := ctx()
+		d, err := Preprocess(c, [][][][]int32{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := d.Match(c, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for z := range text {
+			for y := range text[z] {
+				for x := range text[z][y] {
+					want := int32(-1)
+					if z == 2 && y == 3 && x == s-2 {
+						want = 0
+					}
+					if r.Pat[z][y][x] != want {
+						t.Fatalf("s=%d cell (%d,%d,%d): got %d want %d",
+							s, z, y, x, r.Pat[z][y][x], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := ctx()
+	if _, err := Preprocess(c, [][][][]int32{{}}); err != ErrEmptyPattern {
+		t.Fatalf("err = %v", err)
+	}
+	ragged := [][][]int32{{{1, 2}, {3}}, {{1, 2}, {3, 4}}}
+	if _, err := Preprocess(c, [][][][]int32{ragged}); err != ErrNotCube {
+		t.Fatalf("err = %v", err)
+	}
+	p := [][][]int32{{{1}}}
+	if _, err := Preprocess(c, [][][][]int32{p, p}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+	d, err := Preprocess(c, [][][][]int32{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Match(c, ragged); err != ErrRagged {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyDictAndText(t *testing.T) {
+	c := ctx()
+	d, err := Preprocess(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	r, err := d.Match(c, randCube(rng, 3, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := range r.Pat {
+		for y := range r.Pat[z] {
+			for x := range r.Pat[z][y] {
+				if r.Pat[z][y][x] != -1 {
+					t.Fatal("empty dict matched")
+				}
+			}
+		}
+	}
+	if _, err := d.Match(c, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixOnlyMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := randCube(rng, 4, 2, 0)
+	// Text holds only the 2×2×2 corner of the pattern.
+	text := randCube(rng, 2, 2, 5)
+	for z := 0; z < 2; z++ {
+		for y := 0; y < 2; y++ {
+			copy(text[z][y], p[z][y][:2])
+		}
+	}
+	c := ctx()
+	d, err := Preprocess(c, [][][][]int32{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := d.Match(c, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Side[0][0][0] != 2 || r.Pat[0][0][0] != -1 {
+		t.Fatalf("side=%d pat=%d, want side=2 pat=-1", r.Side[0][0][0], r.Pat[0][0][0])
+	}
+}
+
+func TestWorkShape(t *testing.T) {
+	// Matching work must be O(cells · levels).
+	rng := rand.New(rand.NewSource(9))
+	pats := [][][][]int32{randCube(rng, 8, 2, 0), randCube(rng, 16, 2, 0)}
+	text := randCube(rng, 40, 2, 0)
+	c := pram.New(0)
+	d, err := Preprocess(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	if _, err := d.Match(c, text); err != nil {
+		t.Fatal(err)
+	}
+	cells := int64(40 * 40 * 40)
+	levels := int64(len(d.levels))
+	if w := c.Work(); w > cells*(2*levels+4) {
+		t.Fatalf("match work %d exceeds cells·(2·levels+4) = %d", w, cells*(2*levels+4))
+	}
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	c := ctx()
+	rng := rand.New(rand.NewSource(99))
+	d, err := Preprocess(c, [][][][]int32{randCube(rng, 3, 2, 0), randCube(rng, 1, 2, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxSide() != 3 || d.PatternCount() != 2 {
+		t.Fatalf("MaxSide=%d PatternCount=%d", d.MaxSide(), d.PatternCount())
+	}
+}

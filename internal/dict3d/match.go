@@ -1,0 +1,227 @@
+package dict3d
+
+import (
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Result holds the per-cell output of 3-D dictionary matching.
+type Result struct {
+	// Side[z][y][x] is the side of the largest dictionary cube-prefix whose
+	// corner matches at (z, y, x).
+	Side [][][]int32
+	// Name[z][y][x] is that prefix's unified name (naming.Empty at side 0).
+	Name [][][]int32
+	// Pat[z][y][x] is the largest full pattern matching there, or -1.
+	Pat [][][]int32
+}
+
+// Match runs 3-D dictionary matching on a rectangular box text
+// (text[z][y][x]; all slices and rows must agree in size).
+func (d *Dict) Match(c *pram.Ctx, text [][][]int32) (*Result, error) {
+	zd := len(text)
+	yd, xd := 0, 0
+	if zd > 0 {
+		yd = len(text[0])
+		if yd > 0 {
+			xd = len(text[0][0])
+		}
+		for _, slice := range text {
+			if len(slice) != yd {
+				return nil, ErrRagged
+			}
+			for _, row := range slice {
+				if len(row) != xd {
+					return nil, ErrRagged
+				}
+			}
+		}
+	}
+	r := &Result{
+		Side: makeBox(c, zd, yd, xd, 0),
+		Name: makeBox(c, zd, yd, xd, naming.Empty),
+		Pat:  makeBox(c, zd, yd, xd, -1),
+	}
+	if zd == 0 || yd == 0 || xd == 0 || d.maxSide == 0 {
+		return r, nil
+	}
+
+	grids := d.spawnGrids(c, text, zd, yd, xd)
+	d.unwind(c, grids, r, zd, yd, xd)
+
+	c.For(zd, func(z int) {
+		for y := 0; y < yd; y++ {
+			for x := 0; x < xd; x++ {
+				if name := r.Name[z][y][x]; name != naming.Empty {
+					r.Pat[z][y][x] = d.lpPat[name]
+				}
+			}
+		}
+	})
+	c.AddWork(boxWork(zd, yd, xd))
+	return r, nil
+}
+
+func boxWork(zd, yd, xd int) int64 {
+	return int64(zd) * (int64(yd)*int64(xd) - 1)
+}
+
+func makeBox(c *pram.Ctx, zd, yd, xd int, v int32) [][][]int32 {
+	b := make([][][]int32, zd)
+	c.For(zd, func(z int) {
+		b[z] = make([][]int32, yd)
+		for y := range b[z] {
+			b[z][y] = make([]int32, xd)
+			for x := range b[z][y] {
+				b[z][y][x] = v
+			}
+		}
+	})
+	return b
+}
+
+// spawnGrids computes the level-k block-name grid at every cell.
+func (d *Dict) spawnGrids(c *pram.Ctx, text [][][]int32, zd, yd, xd int) [][][][]int32 {
+	grids := make([][][][]int32, len(d.levels))
+	grids[0] = text
+	for k := 1; k < len(d.levels); k++ {
+		lv := d.levels[k-1]
+		g := 1 << uint(k-1)
+		prev := grids[k-1]
+		cur := make([][][]int32, zd)
+		c.For(zd, func(z int) {
+			cur[z] = make([][]int32, yd)
+			for y := 0; y < yd; y++ {
+				cur[z][y] = make([]int32, xd)
+				for x := 0; x < xd; x++ {
+					cur[z][y][x] = octName(lv, prev, z, y, x, g, zd, yd, xd)
+				}
+			}
+		})
+		c.AddWork(boxWork(zd, yd, xd))
+		grids[k] = cur
+	}
+	return grids
+}
+
+// octName composes the level-(k+1) symbol (2×2×2 block) at (z,y,x) from
+// level-k symbols at stride g.
+func octName(lv *level, prev [][][]int32, z, y, x, g, zd, yd, xd int) int32 {
+	if z+g >= zd || y+g >= yd || x+g >= xd {
+		return naming.None
+	}
+	pairIn := func(tab *naming.Frozen, a, b int32) int32 {
+		if a == naming.None || b == naming.None {
+			return naming.None
+		}
+		return tab.Lookup(naming.EncodePair(a, b))
+	}
+	x00 := pairIn(lv.pairX, prev[z][y][x], prev[z][y][x+g])
+	x01 := pairIn(lv.pairX, prev[z][y+g][x], prev[z][y+g][x+g])
+	x10 := pairIn(lv.pairX, prev[z+g][y][x], prev[z+g][y][x+g])
+	x11 := pairIn(lv.pairX, prev[z+g][y+g][x], prev[z+g][y+g][x+g])
+	y0 := pairIn(lv.pairY, x00, x01)
+	y1 := pairIn(lv.pairY, x10, x11)
+	return pairIn(lv.pairZ, y0, y1)
+}
+
+// unwind descends the levels; entering level k, r.Side/r.Name hold the
+// largest S_{k+1}-prefix per cell, leaving with the largest S_k-prefix.
+func (d *Dict) unwind(c *pram.Ctx, grids [][][][]int32, r *Result, zd, yd, xd int) {
+	for k := len(d.levels) - 1; k >= 0; k-- {
+		lv := d.levels[k]
+		g := 1 << uint(k)
+		grid := grids[k]
+		newSide := make([][][]int32, zd)
+		newName := make([][][]int32, zd)
+		c.For(zd, func(z int) {
+			newSide[z] = make([][]int32, yd)
+			newName[z] = make([][]int32, yd)
+			for y := 0; y < yd; y++ {
+				newSide[z][y] = make([]int32, xd)
+				newName[z][y] = make([]int32, xd)
+				for x := 0; x < xd; x++ {
+					s, n := d.extendCell(lv, grid, r, z, y, x, g, zd, yd, xd)
+					newSide[z][y][x] = s
+					newName[z][y][x] = n
+				}
+			}
+		})
+		c.AddWork(boxWork(zd, yd, xd))
+		r.Side, r.Name = newSide, newName
+	}
+}
+
+// extendCell: Step 4b generalized — either the largest S_k-sub-prefix of
+// α(τ), or the odd candidate assembled from the seven neighbour pieces plus
+// the far-corner symbol.
+func (d *Dict) extendCell(lv *level, grid [][][]int32, r *Result, z, y, x, g, zd, yd, xd int) (int32, int32) {
+	twoI := 2 * int(r.Side[z][y][x])
+	alpha := naming.Empty
+	if twoI > 0 {
+		alpha = lv.mapUp[r.Name[z][y][x]]
+	}
+
+	bestSide, bestName := int32(0), naming.Empty
+	if alpha != naming.Empty {
+		if lp := lv.lpS[alpha]; lp != naming.Empty {
+			bestName = lp
+			bestSide = lv.sideOf[lp]
+		}
+	}
+
+	cz, cy, cx := z+twoI*g, y+twoI*g, x+twoI*g
+	if cz >= zd || cy >= yd || cx >= xd {
+		return bestSide, bestName
+	}
+	corner := grid[cz][cy][cx]
+	if corner == naming.None {
+		return bestSide, bestName
+	}
+
+	var pieces [7]int32
+	if twoI > 0 {
+		pieces[0] = alpha
+		for t, v := range variants {
+			n, ok := d.alphaTrunc(lv, r, z+v[0]*g, y+v[1]*g, x+v[2]*g, twoI, zd, yd, xd)
+			if !ok {
+				return bestSide, bestName
+			}
+			pieces[t+1] = n
+		}
+	} else {
+		for t := range pieces {
+			pieces[t] = naming.Empty
+		}
+	}
+	cur := pieces[0]
+	for t := 0; t < 6; t++ {
+		v, ok := lv.cand[t].Get(naming.EncodePair(cur, pieces[t+1]))
+		if !ok {
+			return bestSide, bestName
+		}
+		cur = v
+	}
+	if v, ok := lv.cand[6].Get(naming.EncodePair(cur, corner)); ok {
+		return int32(twoI + 1), v
+	}
+	return bestSide, bestName
+}
+
+// alphaTrunc derives the unified name of the side-twoI cube cornered at
+// the neighbour cell from that cell's α value.
+func (d *Dict) alphaTrunc(lv *level, r *Result, z, y, x, twoI int, zd, yd, xd int) (int32, bool) {
+	if z >= zd || y >= yd || x >= xd {
+		return naming.Empty, false
+	}
+	side := 2 * int(r.Side[z][y][x])
+	if side < twoI {
+		return naming.Empty, false
+	}
+	name := lv.mapUp[r.Name[z][y][x]]
+	if side == twoI {
+		return name, true
+	}
+	v, ok := lv.trunc.Get(naming.EncodePair(name, int32(twoI)))
+	return v, ok
+}

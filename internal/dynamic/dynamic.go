@@ -1,0 +1,315 @@
+// Package dynamic implements §6 of the paper: dictionary matching under
+// on-line insertions (partly dynamic, Theorems 7–8) and deletions (fully
+// dynamic, Theorems 9–10).
+//
+// The static engine's sorted-rank names are replaced by counter-allocated
+// names held in dynamic stamp-counting tables (§6.2.1): every tuple carries a
+// reference count, so deleting a pattern decrements exactly the tuples it
+// contributed and clears entries at zero. Inserting simulates the dictionary
+// half of the static algorithm on the new pattern alone against the live
+// tables ("partly dynamic namestamping"), in O(λ) table work.
+//
+// Longest-pattern resolution uses the AFM92 structure the paper adopts: a
+// trie of the live patterns with pattern nodes marked, and nearest-marked-
+// ancestor queries on its Euler tour (package eulertree) — O(log M) per
+// query, marks flipped in O(log M) on insert/delete.
+//
+// When the live dictionary shrinks below half of everything inserted since
+// the last rebuild, the §6.2 "squeeze" rebuilds the structure from the live
+// patterns, keeping deletions O(λ log M) amortized.
+package dynamic
+
+import (
+	"errors"
+	"math/bits"
+
+	"pardict/internal/eulertree"
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+	"pardict/internal/trie"
+)
+
+// Errors returned by dictionary operations.
+var (
+	ErrEmptyPattern = errors.New("dynamic: empty pattern")
+	ErrDuplicate    = errors.New("dynamic: pattern already in dictionary")
+	ErrNotFound     = errors.New("dynamic: pattern not in dictionary")
+)
+
+// Dict is a fully dynamic dictionary-matching structure. Operations must be
+// serialized by the caller; Match itself fans out internally and performs no
+// mutation.
+type Dict struct {
+	up   []*naming.CountTable // up[k]: (blockA, blockB) -> level-k block name
+	down []*naming.CountTable // down[k]: (prefixName, block) -> prefix name
+
+	blockCounters []int32 // per-level block name allocators
+	nameCounter   int32   // prefix name allocator
+
+	nameToNode []int32 // prefix name -> trie node
+	tr         *trie.Trie
+	forest     *eulertree.Forest
+
+	live      map[int32][]int32 // id -> pattern (live only)
+	liveSize  int               // sum of live pattern lengths
+	totSize   int               // sum of all pattern sizes inserted since rebuild
+	maxLen    int               // high-water longest pattern since rebuild
+	nextID    int32
+	pendingPN []int32 // prefix names handed from insertTables to insertTrie
+
+	rebuilds int // diagnostic: number of squeezes performed
+}
+
+// New returns an empty dynamic dictionary.
+func New() *Dict {
+	return &Dict{
+		tr:     trie.New(),
+		forest: eulertree.New(),
+		live:   make(map[int32][]int32),
+	}
+}
+
+// LiveCount reports the number of live patterns.
+func (d *Dict) LiveCount() int { return len(d.live) }
+
+// LiveSize reports M, the total size of live patterns.
+func (d *Dict) LiveSize() int { return d.liveSize }
+
+// MaxLen reports the high-water longest pattern length since the last
+// rebuild (the m in the matching bounds).
+func (d *Dict) MaxLen() int { return d.maxLen }
+
+// Rebuilds reports how many squeezes have happened (test/diagnostic hook).
+func (d *Dict) Rebuilds() int { return d.rebuilds }
+
+// Has reports whether pattern p is live.
+func (d *Dict) Has(p []int32) bool {
+	node, l := d.tr.Walk(p)
+	return l == len(p) && d.tr.IsMarked(node)
+}
+
+// levelsFor grows the table slices to cover patterns of length maxLen.
+func (d *Dict) levelsFor(maxLen int) int {
+	k := bits.Len(uint(maxLen))
+	for len(d.up) < k {
+		d.up = append(d.up, naming.NewCountTable())
+		d.down = append(d.down, naming.NewCountTable())
+		d.blockCounters = append(d.blockCounters, 0)
+	}
+	return k
+}
+
+// Insert adds pattern p and returns its id. O(λ·log M) work: O(λ) dynamic
+// namestamping plus O(λ) Euler-tour insertions of O(log M) each.
+func (d *Dict) Insert(c *pram.Ctx, p []int32) (int32, error) {
+	if len(p) == 0 {
+		return 0, ErrEmptyPattern
+	}
+	if d.Has(p) {
+		return 0, ErrDuplicate
+	}
+	id := d.nextID
+	d.nextID++
+	d.insertTables(c, p)
+	d.insertTrie(c, p, id)
+	cp := append([]int32(nil), p...)
+	d.live[id] = cp
+	d.liveSize += len(p)
+	d.totSize += len(p)
+	if len(p) > d.maxLen {
+		d.maxLen = len(p)
+	}
+	return id, nil
+}
+
+// insertTables simulates the static dictionary processing of §4.1 on p:
+// upsweep block naming and downsweep prefix naming, with every namestamp
+// going through the counted dynamic tables.
+func (d *Dict) insertTables(c *pram.Ctx, p []int32) {
+	levels := d.levelsFor(len(p))
+
+	// Upsweep: aligned block names per level.
+	blocks := make([][]int32, levels)
+	blocks[0] = p
+	for k := 1; k < levels; k++ {
+		prev := blocks[k-1]
+		cur := make([]int32, len(prev)/2)
+		for t := 0; t+1 < len(prev); t += 2 {
+			key := naming.EncodePair(prev[t], prev[t+1])
+			cand := d.blockCounters[k]
+			got := d.up[k].Insert(key, cand)
+			if got == cand {
+				d.blockCounters[k]++
+			}
+			cur[t/2] = got
+		}
+		blocks[k] = cur
+	}
+
+	// Downsweep: prefix names, coarse levels first.
+	pn := make([]int32, len(p)+1)
+	pn[0] = naming.Empty
+	for k := levels - 1; k >= 0; k-- {
+		step := 1 << uint(k)
+		for l := step; l <= len(p); l += 2 * step {
+			key := naming.EncodePair(pn[l-step], blocks[k][(l-step)/step])
+			cand := d.nameCounter
+			got := d.down[k].Insert(key, cand)
+			if got == cand {
+				d.nameCounter++
+				d.nameToNode = append(d.nameToNode, trie.None)
+			}
+			pn[l] = got
+		}
+	}
+	c.AddWork(int64(2 * len(p)))
+	c.AddDepth(int64(2 * levels))
+
+	// Hand the prefix names to insertTrie (operations are serialized, so a
+	// field suffices) to bind them to trie nodes.
+	d.pendingPN = pn
+}
+
+// insertTrie adds p to the trie and Euler forest, marks the pattern node,
+// and binds prefix names to trie nodes.
+func (d *Dict) insertTrie(c *pram.Ctx, p []int32, id int32) {
+	node, created := d.tr.Insert(p)
+	for _, v := range created {
+		d.forest.AddChild(v, d.tr.Parent(v))
+	}
+	d.tr.Mark(node, id)
+	d.forest.Mark(node)
+
+	cur := int32(0)
+	for l := 1; l <= len(p); l++ {
+		cur = d.tr.Child(cur, p[l-1])
+		d.nameToNode[d.pendingPN[l]] = cur
+	}
+	d.pendingPN = nil
+	c.AddWork(int64(len(p)) * int64(log2(d.tr.Len())+1))
+	c.AddDepth(int64(log2(d.tr.Len()) + 1))
+}
+
+func log2(x int) int { return bits.Len(uint(x)) }
+
+// Delete removes pattern p. O(λ·log M) amortized work: the tuple decrements
+// plus the unmark, with a full rebuild once the live size halves.
+func (d *Dict) Delete(c *pram.Ctx, p []int32) error {
+	if len(p) == 0 {
+		return ErrEmptyPattern
+	}
+	node, l := d.tr.Walk(p)
+	if l != len(p) || !d.tr.IsMarked(node) {
+		return ErrNotFound
+	}
+	id := d.tr.Unmark(node)
+	d.forest.Unmark(node)
+	delete(d.live, id)
+	d.liveSize -= len(p)
+
+	d.removeTables(c, p)
+
+	if d.liveSize*2 < d.totSize {
+		d.rebuild(c)
+	}
+	return nil
+}
+
+// removeTables decrements exactly the tuples Insert contributed for p
+// (recomputed from the pattern content; counts make sharing safe).
+func (d *Dict) removeTables(c *pram.Ctx, p []int32) {
+	levels := d.levelsFor(len(p))
+	blocks := make([][]int32, levels)
+	blocks[0] = p
+	for k := 1; k < levels; k++ {
+		prev := blocks[k-1]
+		cur := make([]int32, len(prev)/2)
+		for t := 0; t+1 < len(prev); t += 2 {
+			key := naming.EncodePair(prev[t], prev[t+1])
+			cur[t/2] = d.up[k].Lookup(key)
+			d.up[k].Remove(key)
+		}
+		blocks[k] = cur
+	}
+	pn := make([]int32, len(p)+1)
+	pn[0] = naming.Empty
+	for k := levels - 1; k >= 0; k-- {
+		step := 1 << uint(k)
+		for l := step; l <= len(p); l += 2 * step {
+			key := naming.EncodePair(pn[l-step], blocks[k][(l-step)/step])
+			pn[l] = d.down[k].Lookup(key)
+			d.down[k].Remove(key)
+		}
+	}
+	c.AddWork(int64(2 * len(p)))
+	c.AddDepth(int64(2 * levels))
+}
+
+// rebuild reconstructs every structure from the live patterns (the squeeze
+// of §6.2): names restart from zero, dead trie nodes are dropped.
+func (d *Dict) rebuild(c *pram.Ctx) {
+	liveIDs := make([]int32, 0, len(d.live))
+	for id := range d.live {
+		liveIDs = append(liveIDs, id)
+	}
+	// Deterministic order (ids ascend).
+	for i := 1; i < len(liveIDs); i++ {
+		for k := i; k > 0 && liveIDs[k] < liveIDs[k-1]; k-- {
+			liveIDs[k], liveIDs[k-1] = liveIDs[k-1], liveIDs[k]
+		}
+	}
+	old := d.live
+
+	d.up = nil
+	d.down = nil
+	d.blockCounters = nil
+	d.nameCounter = 0
+	d.nameToNode = nil
+	d.tr = trie.New()
+	d.forest = eulertree.New()
+	d.live = make(map[int32][]int32, len(old))
+	d.liveSize = 0
+	d.totSize = 0
+	d.maxLen = 0
+
+	for _, id := range liveIDs {
+		p := old[id]
+		d.insertTables(c, p)
+		d.insertTrie(c, p, id)
+		d.live[id] = p
+		d.liveSize += len(p)
+		d.totSize += len(p)
+		if len(p) > d.maxLen {
+			d.maxLen = len(p)
+		}
+	}
+	d.rebuilds++
+}
+
+// InsertBatch adds several patterns in one operation (§6.1.1 notes the
+// algorithm "carries over to the case when several pattern strings are
+// inserted simultaneously"). Patterns already present or empty are reported
+// per-index in errs; ids[i] is valid where errs[i] is nil. On a PRAM the
+// batch runs as one bulk phase; here it shares one depth charge.
+func (d *Dict) InsertBatch(c *pram.Ctx, patterns [][]int32) (ids []int32, errs []error) {
+	ids = make([]int32, len(patterns))
+	errs = make([]error, len(patterns))
+	depth0 := c.Depth()
+	for i, p := range patterns {
+		ids[i], errs[i] = d.Insert(c, p)
+	}
+	// Collapse the per-insert depth into one batch phase (the inserts touch
+	// disjoint or refcounted table entries and commute).
+	c.AddDepth(depth0 + int64(2*log2(d.maxLen+2)) - c.Depth())
+	return ids, errs
+}
+
+// DeleteBatch removes several patterns in one operation, sharing a single
+// rebuild if the squeeze triggers.
+func (d *Dict) DeleteBatch(c *pram.Ctx, patterns [][]int32) []error {
+	errs := make([]error, len(patterns))
+	for i, p := range patterns {
+		errs[i] = d.Delete(c, p)
+	}
+	return errs
+}

@@ -1,0 +1,447 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func enc(s string) []int32 {
+	out := make([]int32, len(s))
+	for i := range s {
+		out[i] = int32(s[i])
+	}
+	return out
+}
+
+// oracle mirrors the dictionary with brute force.
+type oracle struct {
+	pats map[int32][]int32
+}
+
+func newOracle() *oracle { return &oracle{pats: map[int32][]int32{}} }
+
+func (o *oracle) match(text []int32) []int32 {
+	n := len(text)
+	out := make([]int32, n)
+	for j := range out {
+		out[j] = -1
+	}
+	for j := 0; j < n; j++ {
+		bestLen := 0
+		for id, p := range o.pats {
+			if len(p) > n-j || len(p) <= bestLen {
+				continue
+			}
+			ok := true
+			for t := range p {
+				if p[t] != text[j+t] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bestLen = len(p)
+				out[j] = id
+			}
+		}
+	}
+	return out
+}
+
+func compare(t *testing.T, d *Dict, o *oracle, text []int32, tag string) {
+	t.Helper()
+	c := ctx()
+	got := d.Match(c, text)
+	want := o.match(text)
+	for j := range text {
+		if got.Pat[j] != want[j] {
+			t.Fatalf("%s: pos %d: got pattern %d want %d (text=%v)", tag, j, got.Pat[j], want[j], text)
+		}
+	}
+}
+
+func TestInsertThenMatch(t *testing.T) {
+	c := ctx()
+	d := New()
+	o := newOracle()
+	for _, s := range []string{"he", "she", "his", "hers"} {
+		id, err := d.Insert(c, enc(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.pats[id] = enc(s)
+	}
+	compare(t, d, o, enc("ushershehishe"), "basic")
+}
+
+func TestInsertIncremental(t *testing.T) {
+	// Match after each insert: results must reflect exactly the live set.
+	c := ctx()
+	d := New()
+	o := newOracle()
+	text := enc("abcabdabcdab")
+	for _, s := range []string{"ab", "abc", "abcd", "b", "dab"} {
+		id, err := d.Insert(c, enc(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.pats[id] = enc(s)
+		compare(t, d, o, text, "after insert "+s)
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	c := ctx()
+	d := New()
+	o := newOracle()
+	ids := map[string]int32{}
+	for _, s := range []string{"ab", "abc", "bc", "c"} {
+		id, err := d.Insert(c, enc(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[s] = id
+		o.pats[id] = enc(s)
+	}
+	text := enc("abcabc")
+	compare(t, d, o, text, "pre-delete")
+
+	if err := d.Delete(c, enc("abc")); err != nil {
+		t.Fatal(err)
+	}
+	delete(o.pats, ids["abc"])
+	compare(t, d, o, text, "post-delete abc")
+
+	if err := d.Delete(c, enc("ab")); err != nil {
+		t.Fatal(err)
+	}
+	delete(o.pats, ids["ab"])
+	compare(t, d, o, text, "post-delete ab")
+}
+
+func TestDeleteSharedPrefix(t *testing.T) {
+	// Deleting "abc" must not break matching of live "abcd" (shared tuples
+	// are refcounted).
+	c := ctx()
+	d := New()
+	o := newOracle()
+	id1, _ := d.Insert(c, enc("abc"))
+	id2, _ := d.Insert(c, enc("abcd"))
+	o.pats[id1] = enc("abc")
+	o.pats[id2] = enc("abcd")
+	if err := d.Delete(c, enc("abc")); err != nil {
+		t.Fatal(err)
+	}
+	delete(o.pats, id1)
+	compare(t, d, o, enc("xabcdxabc"), "shared prefix")
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	c := ctx()
+	d := New()
+	o := newOracle()
+	id, _ := d.Insert(c, enc("abc"))
+	o.pats[id] = enc("abc")
+	if err := d.Delete(c, enc("abc")); err != nil {
+		t.Fatal(err)
+	}
+	delete(o.pats, id)
+	id2, err := d.Insert(c, enc("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.pats[id2] = enc("abc")
+	compare(t, d, o, enc("zabcz"), "reinsert")
+}
+
+func TestErrors(t *testing.T) {
+	c := ctx()
+	d := New()
+	if _, err := d.Insert(c, nil); err != ErrEmptyPattern {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := d.Insert(c, enc("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert(c, enc("ab")); err != ErrDuplicate {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Delete(c, enc("zz")); err != ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+	if err := d.Delete(c, enc("a")); err != ErrNotFound {
+		t.Fatalf("deleting a non-pattern prefix: err = %v", err)
+	}
+	if err := d.Delete(c, nil); err != ErrEmptyPattern {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyDict(t *testing.T) {
+	c := ctx()
+	d := New()
+	r := d.Match(c, enc("abc"))
+	for _, v := range r.Pat {
+		if v != -1 {
+			t.Fatal("empty dict matched")
+		}
+	}
+	if d.LiveCount() != 0 || d.LiveSize() != 0 {
+		t.Fatal("empty dict has size")
+	}
+}
+
+func TestRebuildTriggers(t *testing.T) {
+	c := ctx()
+	d := New()
+	var patterns [][]int32
+	for i := 0; i < 16; i++ {
+		p := enc(string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + "xyz")
+		p = append(p, int32(i)) // ensure distinct
+		patterns = append(patterns, p)
+		if _, err := d.Insert(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if err := d.Delete(c, patterns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Rebuilds() == 0 {
+		t.Fatal("expected at least one rebuild after deleting 75% of the dictionary")
+	}
+	if d.LiveCount() != 4 {
+		t.Fatalf("live = %d", d.LiveCount())
+	}
+	// Post-rebuild matching still correct.
+	o := newOracle()
+	for i := 12; i < 16; i++ {
+		// ids after rebuild keep their original values: recover via Has+match.
+		_ = i
+	}
+	// Build oracle from live set via Match on the patterns themselves.
+	for i := 12; i < 16; i++ {
+		r := d.Match(c, patterns[i])
+		if r.Pat[0] < 0 {
+			t.Fatalf("live pattern %d no longer matches", i)
+		}
+		o.pats[r.Pat[0]] = patterns[i]
+	}
+	text := append(append([]int32{9, 9}, patterns[13]...), 9)
+	compare(t, d, o, text, "post-rebuild")
+}
+
+func TestRandomizedSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 15; trial++ {
+		c := ctx()
+		d := New()
+		o := newOracle()
+		var liveList [][]int32
+		sigma := 2 + rng.Intn(3)
+		for op := 0; op < 120; op++ {
+			switch {
+			case len(liveList) == 0 || rng.Intn(3) > 0: // insert
+				l := 1 + rng.Intn(12)
+				p := make([]int32, l)
+				for i := range p {
+					p[i] = int32(rng.Intn(sigma))
+				}
+				id, err := d.Insert(c, p)
+				if err == ErrDuplicate {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.pats[id] = p
+				liveList = append(liveList, p)
+			default: // delete
+				i := rng.Intn(len(liveList))
+				p := liveList[i]
+				if err := d.Delete(c, p); err != nil {
+					t.Fatal(err)
+				}
+				for id, q := range o.pats {
+					if sameStr(q, p) {
+						delete(o.pats, id)
+						break
+					}
+				}
+				liveList = append(liveList[:i], liveList[i+1:]...)
+			}
+			if op%10 == 9 {
+				text := make([]int32, 60)
+				for i := range text {
+					text[i] = int32(rng.Intn(sigma))
+				}
+				compare(t, d, o, text, "random seq")
+			}
+		}
+	}
+}
+
+func sameStr(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLongestPrefixLengths(t *testing.T) {
+	c := ctx()
+	d := New()
+	if _, err := d.Insert(c, enc("abcde")); err != nil {
+		t.Fatal(err)
+	}
+	lens := d.MatchLongestPrefix(c, enc("abcxabcdeyab"))
+	want := []int32{3, 0, 0, 0, 5, 0, 0, 0, 0, 0, 2, 0}
+	for j := range want {
+		if lens[j] != want[j] {
+			t.Fatalf("lens = %v, want %v", lens, want)
+		}
+	}
+}
+
+func TestMatchAgainstNaivePackage(t *testing.T) {
+	// Cross-check ids/ordering against internal/naive on a static snapshot.
+	c := ctx()
+	d := New()
+	pats := [][]int32{enc("aa"), enc("ab"), enc("aab"), enc("b")}
+	for _, p := range pats {
+		if _, err := d.Insert(c, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	text := enc("aabab")
+	r := d.Match(c, text)
+	want := naive.LongestPattern(pats, text)
+	for j := range text {
+		if r.Pat[j] != want[j] {
+			t.Fatalf("pos %d: got %d want %d", j, r.Pat[j], want[j])
+		}
+	}
+}
+
+func TestManyInsertsGrowLevels(t *testing.T) {
+	c := ctx()
+	d := New()
+	o := newOracle()
+	// Insert patterns of sharply increasing lengths to force level growth.
+	for _, l := range []int{1, 3, 9, 31, 70, 200} {
+		p := make([]int32, l)
+		for i := range p {
+			p[i] = int32(i % 7)
+		}
+		id, err := d.Insert(c, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.pats[id] = p
+	}
+	text := make([]int32, 300)
+	for i := range text {
+		text[i] = int32(i % 7)
+	}
+	compare(t, d, o, text, "level growth")
+	if d.MaxLen() != 200 {
+		t.Fatalf("maxLen = %d", d.MaxLen())
+	}
+}
+
+func TestInsertBatch(t *testing.T) {
+	c := ctx()
+	d := New()
+	o := newOracle()
+	pats := [][]int32{enc("alpha"), enc("beta"), enc(""), enc("alpha"), enc("gamma")}
+	ids, errs := d.InsertBatch(c, pats)
+	if errs[0] != nil || errs[1] != nil || errs[4] != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if errs[2] != ErrEmptyPattern {
+		t.Fatalf("errs[2] = %v", errs[2])
+	}
+	if errs[3] != ErrDuplicate {
+		t.Fatalf("errs[3] = %v", errs[3])
+	}
+	o.pats[ids[0]] = pats[0]
+	o.pats[ids[1]] = pats[1]
+	o.pats[ids[4]] = pats[4]
+	compare(t, d, o, enc("xx alpha beta gamma xx"), "batch insert")
+}
+
+func TestDeleteBatch(t *testing.T) {
+	c := ctx()
+	d := New()
+	o := newOracle()
+	pats := [][]int32{enc("one"), enc("two"), enc("three")}
+	ids, _ := d.InsertBatch(c, pats)
+	for i, id := range ids {
+		o.pats[id] = pats[i]
+	}
+	errs := d.DeleteBatch(c, [][]int32{enc("one"), enc("missing"), enc("three")})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if errs[1] != ErrNotFound {
+		t.Fatalf("errs[1] = %v", errs[1])
+	}
+	delete(o.pats, ids[0])
+	delete(o.pats, ids[2])
+	compare(t, d, o, enc("one two three"), "batch delete")
+}
+
+func TestInsertWorkShape(t *testing.T) {
+	// Theorem 8: insert work/λ must grow by ~1 per doubling of M (log M),
+	// not faster. Asserted as a permanent regression guard on the counters.
+	c := ctx()
+	d := New()
+	const lam = 32
+	seed := int64(7000)
+	nextPat := func() []int32 {
+		p := make([]int32, lam)
+		r := seed
+		seed++
+		for i := range p {
+			r = r*6364136223846793005 + 1442695040888963407
+			p[i] = int32(uint64(r)>>33) % 8
+		}
+		return p
+	}
+	var at1k, at16k float64
+	for d.LiveCount() < 16*1024/lam*lam { // keep inserting
+		p := nextPat()
+		c.ResetStats()
+		if _, err := d.Insert(c, p); err != nil {
+			continue
+		}
+		switch d.LiveSize() {
+		case 1 << 10:
+			at1k = float64(c.Work()) / lam
+		case 1 << 14:
+			at16k = float64(c.Work()) / lam
+		}
+		if d.LiveSize() >= 1<<14 && at16k != 0 {
+			break
+		}
+	}
+	if at1k == 0 || at16k == 0 {
+		t.Fatalf("sampling failed: %v %v", at1k, at16k)
+	}
+	// 16x growth of M = +4 doublings: expect roughly +4 work/λ, certainly
+	// not multiplicative growth.
+	if at16k > at1k+8 || at16k < at1k {
+		t.Fatalf("insert work/λ at M=1k: %.2f, at M=16k: %.2f — not log-shaped", at1k, at16k)
+	}
+}

@@ -1,0 +1,104 @@
+package dynamic
+
+import (
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+	"pardict/internal/trie"
+)
+
+// Result is the per-position output of a dynamic match.
+type Result struct {
+	// Len[j] is the length of the longest live-dictionary prefix at j.
+	Len []int32
+	// Pat[j] is the id of the longest live pattern matching at j, or -1.
+	Pat []int32
+}
+
+// Match finds, per text position, the longest live pattern (Theorem 8/10
+// match: O(n·log M) work — the log M is the nearest-marked-ancestor query).
+func (d *Dict) Match(c *pram.Ctx, text []int32) *Result {
+	n := len(text)
+	r := &Result{Len: make([]int32, n), Pat: make([]int32, n)}
+	pram.Fill(c, r.Pat, -1)
+	if n == 0 || d.maxLen == 0 {
+		return r
+	}
+	levels := len(d.up)
+
+	// Spawn: level-k text symbols via the dynamic up tables.
+	syms := make([][]int32, levels)
+	syms[0] = text
+	for k := 1; k < levels; k++ {
+		prev := syms[k-1]
+		cur := make([]int32, n)
+		half := 1 << uint(k-1)
+		up := d.up[k]
+		c.For(n, func(j int) {
+			if j+2*half > n {
+				cur[j] = naming.None
+				return
+			}
+			a, b := prev[j], prev[j+half]
+			if a == naming.None || b == naming.None {
+				cur[j] = naming.None
+				return
+			}
+			cur[j] = up.Lookup(naming.EncodePair(a, b))
+		})
+		syms[k] = cur
+	}
+
+	// Unwind: Extend-Right per level via the dynamic down tables.
+	names := make([]int32, n)
+	pram.Fill(c, names, naming.Empty)
+	for k := levels - 1; k >= 0; k-- {
+		step := 1 << uint(k)
+		down := d.down[k]
+		level := syms[k]
+		c.For(n, func(j int) {
+			l := int(r.Len[j])
+			pos := j + l
+			if pos+step > n {
+				return
+			}
+			b := level[pos]
+			if b == naming.None {
+				return
+			}
+			if v, ok := down.Get(naming.EncodePair(names[j], b)); ok {
+				r.Len[j] = int32(l + step)
+				names[j] = v
+			}
+		})
+	}
+
+	// Longest pattern via nearest marked ancestor on the live trie
+	// (the deleted-pattern prefixes that survive in the tables are pruned
+	// here: their nodes are unmarked).
+	c.For(n, func(j int) {
+		if names[j] == naming.Empty {
+			return
+		}
+		node := d.nameToNode[names[j]]
+		if node == trie.None {
+			return
+		}
+		if m := d.forest.NearestMarked(node); m >= 0 {
+			r.Pat[j] = d.tr.PatternAt(m)
+		}
+	})
+	// Each query walks O(log M) Euler-tour tree levels — the log M factor in
+	// the Theorem 8/10 match bound, charged explicitly.
+	c.AddWork(int64(n) * int64(log2(d.tr.Len())))
+	c.AddDepth(int64(log2(d.tr.Len()) + 1))
+	return r
+}
+
+// MatchLongestPrefix runs only the dynamic prefix-matching of §6.1.1/6.2.1
+// (Theorems 7 and 9): longest live-table prefix lengths, no trie query.
+// Note: after deletions, prefixes of dead patterns may persist until the
+// next rebuild; the pattern-level Match above is exact at all times.
+func (d *Dict) MatchLongestPrefix(c *pram.Ctx, text []int32) []int32 {
+	r := d.Match(c, text)
+	return r.Len
+}

@@ -1,0 +1,321 @@
+// Package eulertree maintains nearest-marked-ancestor queries on a growing
+// tree in O(log n) per operation.
+//
+// It substitutes for the structure the paper adopts from Amir, Farach &
+// Matias [AFM92]: the Euler tour of the pattern trie kept in a balanced
+// search tree (they use parallel 2–3 trees [PVW83]; we use a treap with
+// deterministic pseudo-random priorities — see DESIGN.md §2).
+//
+// Every tree node contributes an open and a close event to the tour. Marked
+// nodes' events carry parenthesis weight; the nearest marked ancestor of v is
+// the rightmost unmatched marked "open" strictly before v's open event —
+// a classic bracket-matching query answered with (unmatchedOpen,
+// unmatchedClose) subtree aggregates.
+package eulertree
+
+// None is the absent-node sentinel.
+const None int32 = -1
+
+type event struct {
+	left, right, parent int32 // treap links (event indices), -1 when absent
+	prio                uint64
+	size                int32
+
+	node   int32 // tree node this event belongs to
+	isOpen bool
+	marked bool
+
+	aggOpen, aggClose int32 // unmatched counts over the treap subtree
+}
+
+// Forest maintains one tree rooted at node 0 (created by New) plus the
+// treap over its Euler tour.
+type Forest struct {
+	ev      []event
+	root    int32 // treap root
+	openEv  []int32
+	closeEv []int32
+	marked  []bool
+	rng     uint64
+}
+
+// New returns a forest containing the tree root (node 0), unmarked.
+func New() *Forest {
+	f := &Forest{root: -1, rng: 0x853c49e6748fea9b}
+	f.addNodeEvents(0, -1)
+	return f
+}
+
+// Len reports the number of tree nodes.
+func (f *Forest) Len() int { return len(f.openEv) }
+
+// IsMarked reports whether node is marked.
+func (f *Forest) IsMarked(node int32) bool { return f.marked[node] }
+
+func (f *Forest) nextPrio() uint64 {
+	// splitmix64: deterministic, well-distributed priorities.
+	f.rng += 0x9E3779B97F4A7C15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (f *Forest) newEvent(node int32, isOpen bool) int32 {
+	id := int32(len(f.ev))
+	f.ev = append(f.ev, event{
+		left: -1, right: -1, parent: -1,
+		prio: f.nextPrio(), size: 1,
+		node: node, isOpen: isOpen,
+	})
+	return id
+}
+
+func (f *Forest) pull(x int32) {
+	e := &f.ev[x]
+	e.size = 1
+	var lo, lc, ro, rc int32
+	if e.left >= 0 {
+		l := &f.ev[e.left]
+		e.size += l.size
+		lo, lc = l.aggOpen, l.aggClose
+	}
+	// own contribution
+	var mo, mc int32
+	if e.marked {
+		if e.isOpen {
+			mo = 1
+		} else {
+			mc = 1
+		}
+	}
+	// combine left + own
+	m := min32(lo, mc)
+	co, cc := lo+mo-m, lc+mc-m
+	if e.right >= 0 {
+		r := &f.ev[e.right]
+		e.size += r.size
+		ro, rc = r.aggOpen, r.aggClose
+	}
+	m = min32(co, rc)
+	e.aggOpen, e.aggClose = co+ro-m, cc+rc-m
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// merge joins treaps a (left) and b (right), returning the new root.
+func (f *Forest) merge(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if f.ev[a].prio > f.ev[b].prio {
+		r := f.merge(f.ev[a].right, b)
+		f.ev[a].right = r
+		f.ev[r].parent = a
+		f.pull(a)
+		return a
+	}
+	l := f.merge(a, f.ev[b].left)
+	f.ev[b].left = l
+	f.ev[l].parent = b
+	f.pull(b)
+	return b
+}
+
+// split divides treap t into the first k events and the rest.
+func (f *Forest) split(t int32, k int32) (a, b int32) {
+	if t < 0 {
+		return -1, -1
+	}
+	lsz := int32(0)
+	if l := f.ev[t].left; l >= 0 {
+		lsz = f.ev[l].size
+	}
+	if k <= lsz {
+		a, tl := f.split(f.ev[t].left, k)
+		f.ev[t].left = tl
+		if tl >= 0 {
+			f.ev[tl].parent = t
+		}
+		if a >= 0 {
+			f.ev[a].parent = -1
+		}
+		f.pull(t)
+		return a, t
+	}
+	tr, b := f.split(f.ev[t].right, k-lsz-1)
+	f.ev[t].right = tr
+	if tr >= 0 {
+		f.ev[tr].parent = t
+	}
+	if b >= 0 {
+		f.ev[b].parent = -1
+	}
+	f.pull(t)
+	return t, b
+}
+
+// index returns the 0-based position of event x in the tour.
+func (f *Forest) index(x int32) int32 {
+	idx := int32(0)
+	if l := f.ev[x].left; l >= 0 {
+		idx = f.ev[l].size
+	}
+	for cur := x; f.ev[cur].parent >= 0; cur = f.ev[cur].parent {
+		p := f.ev[cur].parent
+		if f.ev[p].right == cur {
+			idx++
+			if l := f.ev[p].left; l >= 0 {
+				idx += f.ev[l].size
+			}
+		}
+	}
+	return idx
+}
+
+// insertAt places event x at tour position pos.
+func (f *Forest) insertAt(pos int32, x int32) {
+	a, b := f.split(f.root, pos)
+	f.root = f.merge(f.merge(a, x), b)
+	f.ev[f.root].parent = -1
+}
+
+func (f *Forest) addNodeEvents(node int32, parent int32) {
+	for int(node) >= len(f.openEv) {
+		f.openEv = append(f.openEv, -1)
+		f.closeEv = append(f.closeEv, -1)
+		f.marked = append(f.marked, false)
+	}
+	o := f.newEvent(node, true)
+	c := f.newEvent(node, false)
+	f.openEv[node] = o
+	f.closeEv[node] = c
+	if parent < 0 {
+		f.root = f.merge(f.root, o)
+		f.root = f.merge(f.root, c)
+		f.ev[f.root].parent = -1
+		return
+	}
+	pos := f.index(f.closeEv[parent])
+	f.insertAt(pos, o)
+	pos = f.index(f.closeEv[parent])
+	f.insertAt(pos, c)
+}
+
+// AddChild creates tree node `node` (which must equal Len()) as a child of
+// parent. Node ids must be allocated densely in creation order, matching
+// package trie.
+func (f *Forest) AddChild(node, parent int32) {
+	if int(node) != len(f.openEv) {
+		panic("eulertree: node ids must be dense and in creation order")
+	}
+	f.addNodeEvents(node, parent)
+}
+
+// setEventMark updates one event's mark and repairs ancestor aggregates.
+func (f *Forest) setEventMark(x int32, m bool) {
+	f.ev[x].marked = m
+	for cur := x; cur >= 0; cur = f.ev[cur].parent {
+		f.pull(cur)
+	}
+}
+
+// Mark marks node.
+func (f *Forest) Mark(node int32) {
+	if f.marked[node] {
+		return
+	}
+	f.marked[node] = true
+	f.setEventMark(f.openEv[node], true)
+	f.setEventMark(f.closeEv[node], true)
+}
+
+// Unmark clears node's mark.
+func (f *Forest) Unmark(node int32) {
+	if !f.marked[node] {
+		return
+	}
+	f.marked[node] = false
+	f.setEventMark(f.openEv[node], false)
+	f.setEventMark(f.closeEv[node], false)
+}
+
+// NearestMarked returns the nearest marked ancestor of node, including node
+// itself, or None. O(log n).
+func (f *Forest) NearestMarked(node int32) int32 {
+	if f.marked[node] {
+		return node
+	}
+	// Rightmost unmatched marked open strictly before open(node): scan
+	// leftwards from the open event, tracking k = unmatched closes pending.
+	k := int32(0)
+	cur := f.ev[f.openEv[node]].left
+	if ans := f.scanLeft(cur, &k); ans >= 0 {
+		return f.ev[ans].node
+	}
+	for cur = f.openEv[node]; f.ev[cur].parent >= 0; {
+		p := f.ev[cur].parent
+		if f.ev[p].right == cur {
+			if f.ev[p].marked {
+				if f.ev[p].isOpen {
+					if k == 0 {
+						return f.ev[p].node
+					}
+					k--
+				} else {
+					k++
+				}
+			}
+			if ans := f.scanLeft(f.ev[p].left, &k); ans >= 0 {
+				return f.ev[ans].node
+			}
+		}
+		cur = p
+	}
+	return None
+}
+
+// scanLeft processes subtree t (entirely left of the query point, scanned
+// right-to-left). If the answer open event lies inside, it returns its event
+// id; otherwise it updates *k and returns -1.
+func (f *Forest) scanLeft(t int32, k *int32) int32 {
+	if t < 0 {
+		return -1
+	}
+	if f.ev[t].aggOpen <= *k {
+		*k += f.ev[t].aggClose - f.ev[t].aggOpen
+		return -1
+	}
+	for {
+		// Invariant: subtree t has aggOpen > *k, so the answer is inside.
+		if r := f.ev[t].right; r >= 0 {
+			if f.ev[r].aggOpen > *k {
+				t = r
+				continue
+			}
+			*k += f.ev[r].aggClose - f.ev[r].aggOpen
+		}
+		if f.ev[t].marked {
+			if f.ev[t].isOpen {
+				if *k == 0 {
+					return t
+				}
+				*k--
+			} else {
+				*k++
+			}
+		}
+		t = f.ev[t].left
+		if t < 0 {
+			return -1 // unreachable when invariant holds; defensive
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package eulertree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// brute is the reference: parent pointers + upward walk.
+type brute struct {
+	parent []int32
+	marked []bool
+}
+
+func newBrute() *brute { return &brute{parent: []int32{None}, marked: []bool{false}} }
+
+func (b *brute) addChild(parent int32) int32 {
+	b.parent = append(b.parent, parent)
+	b.marked = append(b.marked, false)
+	return int32(len(b.parent) - 1)
+}
+
+func (b *brute) nma(v int32) int32 {
+	for ; v != None; v = b.parent[v] {
+		if b.marked[v] {
+			return v
+		}
+	}
+	return None
+}
+
+func TestSingleNode(t *testing.T) {
+	f := New()
+	if got := f.NearestMarked(0); got != None {
+		t.Fatalf("unmarked root: %d", got)
+	}
+	f.Mark(0)
+	if got := f.NearestMarked(0); got != 0 {
+		t.Fatalf("marked root: %d", got)
+	}
+	f.Unmark(0)
+	if got := f.NearestMarked(0); got != None {
+		t.Fatalf("after unmark: %d", got)
+	}
+}
+
+func TestPath(t *testing.T) {
+	f := New()
+	b := newBrute()
+	// Chain 0-1-2-...-9.
+	for i := int32(1); i < 10; i++ {
+		f.AddChild(i, i-1)
+		b.addChild(i - 1)
+	}
+	f.Mark(3)
+	b.marked[3] = true
+	f.Mark(7)
+	b.marked[7] = true
+	for v := int32(0); v < 10; v++ {
+		if got, want := f.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+	f.Unmark(7)
+	b.marked[7] = false
+	for v := int32(0); v < 10; v++ {
+		if got, want := f.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("after unmark: nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestStar(t *testing.T) {
+	f := New()
+	b := newBrute()
+	for i := int32(1); i <= 20; i++ {
+		f.AddChild(i, 0)
+		b.addChild(0)
+	}
+	f.Mark(5)
+	b.marked[5] = true
+	for v := int32(0); v <= 20; v++ {
+		if got, want := f.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+	f.Mark(0)
+	b.marked[0] = true
+	for v := int32(0); v <= 20; v++ {
+		if got, want := f.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("root marked: nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSiblingMarksDoNotLeak(t *testing.T) {
+	// Marked left sibling subtree must not appear as an ancestor of the
+	// right sibling.
+	f := New()
+	f.AddChild(1, 0) // left child
+	f.AddChild(2, 1) // under left
+	f.AddChild(3, 0) // right child
+	f.Mark(2)
+	if got := f.NearestMarked(3); got != None {
+		t.Fatalf("sibling leak: nma(3) = %d", got)
+	}
+	f.Mark(1)
+	if got := f.NearestMarked(3); got != None {
+		t.Fatalf("sibling leak: nma(3) = %d", got)
+	}
+	if got := f.NearestMarked(2); got != 2 {
+		t.Fatalf("nma(2) = %d", got)
+	}
+	f.Unmark(2)
+	if got := f.NearestMarked(2); got != 1 {
+		t.Fatalf("nma(2) = %d", got)
+	}
+}
+
+func TestRandomizedAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		f := New()
+		b := newBrute()
+		n := int32(1)
+		for op := 0; op < 800; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // grow
+				parent := int32(rng.Intn(int(n)))
+				f.AddChild(n, parent)
+				b.addChild(parent)
+				n++
+			case 2: // toggle mark
+				v := int32(rng.Intn(int(n)))
+				if b.marked[v] {
+					f.Unmark(v)
+					b.marked[v] = false
+				} else {
+					f.Mark(v)
+					b.marked[v] = true
+				}
+			case 3: // query
+				v := int32(rng.Intn(int(n)))
+				if got, want := f.NearestMarked(v), b.nma(v); got != want {
+					t.Fatalf("trial %d op %d: nma(%d) = %d, want %d", trial, op, v, got, want)
+				}
+			}
+		}
+		// Final full sweep.
+		for v := int32(0); v < n; v++ {
+			if got, want := f.NearestMarked(v), b.nma(v); got != want {
+				t.Fatalf("trial %d final: nma(%d) = %d, want %d", trial, v, got, want)
+			}
+		}
+	}
+}
+
+func TestDeepTree(t *testing.T) {
+	f := New()
+	b := newBrute()
+	const depth = 5000
+	for i := int32(1); i <= depth; i++ {
+		f.AddChild(i, i-1)
+		b.addChild(i - 1)
+	}
+	f.Mark(1)
+	b.marked[1] = true
+	f.Mark(depth / 2)
+	b.marked[depth/2] = true
+	for _, v := range []int32{0, 1, 2, depth / 2, depth/2 + 1, depth} {
+		if got, want := f.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestIdempotentMarks(t *testing.T) {
+	f := New()
+	f.AddChild(1, 0)
+	f.Mark(1)
+	f.Mark(1) // no-op
+	if got := f.NearestMarked(1); got != 1 {
+		t.Fatalf("nma = %d", got)
+	}
+	f.Unmark(1)
+	f.Unmark(1) // no-op
+	if got := f.NearestMarked(1); got != None {
+		t.Fatalf("nma = %d", got)
+	}
+}
+
+func TestDensePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-dense node id")
+		}
+	}()
+	f := New()
+	f.AddChild(5, 0)
+}
+
+func TestLenAndIsMarked(t *testing.T) {
+	f := New()
+	f.AddChild(1, 0)
+	if f.Len() != 2 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if f.IsMarked(1) {
+		t.Fatal("fresh node marked")
+	}
+	f.Mark(1)
+	if !f.IsMarked(1) {
+		t.Fatal("mark not visible")
+	}
+}

@@ -1,0 +1,104 @@
+package eulertree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAgainstBrute drives arbitrary operation scripts derived from
+// fuzzed byte strings against the parent-walk reference.
+func TestQuickAgainstBrute(t *testing.T) {
+	f := func(script []byte) bool {
+		fo := New()
+		b := newBrute()
+		n := int32(1)
+		for _, op := range script {
+			switch op % 4 {
+			case 0, 1:
+				parent := int32(op>>2) % n
+				fo.AddChild(n, parent)
+				b.addChild(parent)
+				n++
+			case 2:
+				v := int32(op>>2) % n
+				if b.marked[v] {
+					fo.Unmark(v)
+					b.marked[v] = false
+				} else {
+					fo.Mark(v)
+					b.marked[v] = true
+				}
+			case 3:
+				v := int32(op>>2) % n
+				if fo.NearestMarked(v) != b.nma(v) {
+					return false
+				}
+			}
+		}
+		for v := int32(0); v < n; v++ {
+			if fo.NearestMarked(v) != b.nma(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCaterpillar exercises a path with marked leaves hanging off each spine
+// node — many siblings whose marks must not leak across subtrees.
+func TestCaterpillar(t *testing.T) {
+	fo := New()
+	b := newBrute()
+	n := int32(1)
+	spine := []int32{0}
+	for i := 0; i < 40; i++ {
+		// extend spine
+		fo.AddChild(n, spine[len(spine)-1])
+		b.addChild(spine[len(spine)-1])
+		spine = append(spine, n)
+		n++
+		// leaf off the new spine node, marked
+		fo.AddChild(n, spine[len(spine)-1])
+		b.addChild(spine[len(spine)-1])
+		fo.Mark(n)
+		b.marked[n] = true
+		n++
+	}
+	for v := int32(0); v < n; v++ {
+		if got, want := fo.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+	// Unmark every other leaf and recheck.
+	for v := int32(2); v < n; v += 4 {
+		fo.Unmark(v)
+		b.marked[v] = false
+	}
+	for v := int32(0); v < n; v++ {
+		if got, want := fo.NearestMarked(v), b.nma(v); got != want {
+			t.Fatalf("after unmark: nma(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestLargeRandomTreeThroughput sanity-checks O(log n) behaviour: queries on
+// a 200k-node tree must stay fast enough to finish well within the test
+// budget (a linear-walk regression would take minutes).
+func TestLargeRandomTreeThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fo := New()
+	const N = 200000
+	for v := int32(1); v < N; v++ {
+		fo.AddChild(v, int32(rng.Intn(int(v))))
+		if rng.Intn(16) == 0 {
+			fo.Mark(v)
+		}
+	}
+	for q := 0; q < 100000; q++ {
+		fo.NearestMarked(int32(rng.Intn(N)))
+	}
+}

@@ -1,0 +1,306 @@
+package match2d
+
+import (
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func grid(rows ...string) [][]int32 {
+	out := make([][]int32, len(rows))
+	for i, r := range rows {
+		out[i] = make([]int32, len(r))
+		for j := range r {
+			out[i][j] = int32(r[j])
+		}
+	}
+	return out
+}
+
+func randGrid(rng *rand.Rand, r, c, sigma int) [][]int32 {
+	g := make([][]int32, r)
+	for i := range g {
+		g[i] = make([]int32, c)
+		for j := range g[i] {
+			g[i][j] = int32(rng.Intn(sigma))
+		}
+	}
+	return g
+}
+
+func plant(text [][]int32, p [][]int32, i, j int) {
+	for a := range p {
+		copy(text[i+a][j:], p[a])
+	}
+}
+
+func check2D(t *testing.T, pats [][][]int32, text [][]int32) {
+	t.Helper()
+	c := ctx()
+	mm, err := New(c, pats)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := mm.Match(c, text)
+	want := naive.LargestFullMatch2D(pats, text)
+	for i := range text {
+		for j := range text[i] {
+			g, w := got[i][j], want[i][j]
+			if g == w {
+				continue
+			}
+			// tolerate duplicate-content patterns
+			if g >= 0 && w >= 0 && sameGrid(pats[g], pats[w]) {
+				continue
+			}
+			t.Fatalf("cell (%d,%d): got %d want %d", i, j, g, w)
+		}
+	}
+}
+
+func sameGrid(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBasic2D(t *testing.T) {
+	pats := [][][]int32{
+		grid("ab", "cd"),
+		grid("bb", "bb"),
+	}
+	text := grid(
+		"abbbx",
+		"cdbbx",
+		"xxbbx",
+		"xxbbx",
+	)
+	check2D(t, pats, text)
+}
+
+func TestSingleCellPatterns(t *testing.T) {
+	pats := [][][]int32{grid("a"), grid("b")}
+	text := grid("aba", "bab")
+	check2D(t, pats, text)
+}
+
+func TestRandom2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(6)
+		np := 1 + rng.Intn(4)
+		pats := make([][][]int32, np)
+		for i := range pats {
+			pats[i] = randGrid(rng, m, m, 2)
+		}
+		text := randGrid(rng, 4+rng.Intn(20), 4+rng.Intn(20), 2)
+		check2D(t, pats, text)
+	}
+}
+
+func TestPlanted2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, m := range []int{3, 5, 8, 13} {
+		pats := [][][]int32{randGrid(rng, m, m, 3)}
+		// Use disjoint alphabets so the plant is the only match.
+		for a := range pats[0] {
+			for b := range pats[0][a] {
+				pats[0][a][b] += 10
+			}
+		}
+		text := randGrid(rng, 3*m, 3*m, 3)
+		plant(text, pats[0], m-1, m+1)
+		c := ctx()
+		mm, err := New(c, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mm.Match(c, text)
+		for i := range got {
+			for j := range got[i] {
+				want := int32(-1)
+				if i == m-1 && j == m+1 {
+					want = 0
+				}
+				if got[i][j] != want {
+					t.Fatalf("m=%d cell (%d,%d): got %d want %d", m, i, j, got[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestTextSmallerThanPattern(t *testing.T) {
+	pats := [][][]int32{randGrid(rand.New(rand.NewSource(1)), 5, 5, 2)}
+	text := randGrid(rand.New(rand.NewSource(2)), 3, 3, 2)
+	check2D(t, pats, text)
+}
+
+func TestEmptyDict2D(t *testing.T) {
+	c := ctx()
+	mm, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mm.Match(c, grid("ab", "cd"))
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != -1 {
+				t.Fatal("empty dict matched")
+			}
+		}
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	c := ctx()
+	if _, err := New(c, [][][]int32{grid("ab", "c")}); err == nil {
+		t.Fatal("want error for ragged pattern")
+	}
+	if _, err := New(c, [][][]int32{grid("ab", "cd"), grid("a")}); err == nil {
+		t.Fatal("want error for mixed sizes")
+	}
+}
+
+// --- 3D ---
+
+func cube(rng *rand.Rand, m, sigma int, shift int32) [][][]int32 {
+	p := make([][][]int32, m)
+	for z := range p {
+		p[z] = randGrid(rng, m, m, sigma)
+		for y := range p[z] {
+			for x := range p[z][y] {
+				p[z][y][x] += shift
+			}
+		}
+	}
+	return p
+}
+
+func TestPlanted3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, m := range []int{2, 3, 5} {
+		pat := cube(rng, m, 3, 10) // disjoint alphabet
+		text := cube(rng, 3*m, 3, 0)
+		pz, py, px := m-1, 1, m
+		for z := 0; z < m; z++ {
+			for y := 0; y < m; y++ {
+				copy(text[pz+z][py+y][px:], pat[z][y])
+			}
+		}
+		c := ctx()
+		mm, err := New3D(c, [][][][]int32{pat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mm.Match(c, text)
+		for z := range got {
+			for y := range got[z] {
+				for x := range got[z][y] {
+					want := int32(-1)
+					if z == pz && y == py && x == px {
+						want = 0
+					}
+					if got[z][y][x] != want {
+						t.Fatalf("m=%d cell (%d,%d,%d): got %d want %d",
+							m, z, y, x, got[z][y][x], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandom3DAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		m := 1 + rng.Intn(3)
+		np := 1 + rng.Intn(3)
+		pats := make([][][][]int32, np)
+		for i := range pats {
+			pats[i] = cube(rng, m, 2, 0)
+		}
+		n := 4 + rng.Intn(6)
+		text := cube(rng, n, 2, 0)
+		c := ctx()
+		mm, err := New3D(c, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mm.Match(c, text)
+		// brute force
+		for z := 0; z+m <= n; z++ {
+			for y := 0; y+m <= n; y++ {
+				for x := 0; x+m <= n; x++ {
+					want := int32(-1)
+					for pi := len(pats) - 1; pi >= 0; pi-- {
+						ok := true
+						for a := 0; a < m && ok; a++ {
+							for b := 0; b < m && ok; b++ {
+								for d := 0; d < m; d++ {
+									if pats[pi][a][b][d] != text[z+a][y+b][x+d] {
+										ok = false
+										break
+									}
+								}
+							}
+						}
+						if ok {
+							want = int32(pi)
+						}
+					}
+					g := got[z][y][x]
+					if g == want {
+						continue
+					}
+					if g >= 0 && want >= 0 && sameCube(pats[g], pats[want]) {
+						continue
+					}
+					t.Fatalf("cell (%d,%d,%d): got %d want %d", z, y, x, g, want)
+				}
+			}
+		}
+	}
+}
+
+func sameCube(a, b [][][]int32) bool {
+	for z := range a {
+		if !sameGrid(a[z], b[z]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	c := ctx()
+	mm, err := New(c, [][][]int32{grid("ab", "cd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.M() != 2 || mm.PatternCount() != 1 {
+		t.Fatalf("M=%d PatternCount=%d", mm.M(), mm.PatternCount())
+	}
+	m3, err := New3D(c, [][][][]int32{{{{1, 2}, {3, 4}}, {{5, 6}, {7, 8}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.M() != 2 {
+		t.Fatalf("M3 = %d", m3.M())
+	}
+}

@@ -1,0 +1,196 @@
+package match2d
+
+import (
+	"pardict/internal/multimatch"
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Matcher3D matches a dictionary of equal-size m×m×m cube patterns
+// (indexing: pattern[z][y][x]) by three rounds of equal-length matching —
+// the d = 3 instance of the dimension reduction. O(n + M) work.
+type Matcher3D struct {
+	m      int
+	np     int
+	rows   *multimatch.Matcher // all pattern rows (x direction)
+	cols   *multimatch.Matcher // row-name columns (y direction), per slice
+	slices *multimatch.Matcher // slice-name strings (z direction), per pattern
+}
+
+// New3D preprocesses equal-size cube patterns.
+func New3D(c *pram.Ctx, patterns [][][][]int32) (*Matcher3D, error) {
+	mm := &Matcher3D{np: len(patterns)}
+	if mm.np == 0 {
+		return mm, nil
+	}
+	mm.m = len(patterns[0])
+	for _, p := range patterns {
+		if len(p) != mm.m {
+			return nil, ErrNotSquare
+		}
+		for _, slice := range p {
+			if len(slice) != mm.m {
+				return nil, ErrNotSquare
+			}
+			for _, row := range slice {
+				if len(row) != mm.m {
+					return nil, ErrNotSquare
+				}
+			}
+		}
+	}
+	if mm.m == 0 {
+		return nil, multimatch.ErrEmptyPattern
+	}
+	m := mm.m
+
+	// Round 1 dictionary: all rows.
+	rowStrings := make([][]int32, 0, mm.np*m*m)
+	for _, p := range patterns {
+		for _, slice := range p {
+			rowStrings = append(rowStrings, slice...)
+		}
+	}
+	var err error
+	mm.rows, err = multimatch.New(c, rowStrings)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 2 dictionary: per (pattern, slice), the y-string of row names.
+	colStrings := make([][]int32, mm.np*m)
+	c.For(mm.np*m, func(i int) {
+		s := make([]int32, m)
+		for y := 0; y < m; y++ {
+			s[y] = mm.rows.PatternName(i*m + y)
+		}
+		colStrings[i] = s
+	})
+	mm.cols, err = multimatch.New(c, colStrings)
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3 dictionary: per pattern, the z-string of slice names.
+	sliceStrings := make([][]int32, mm.np)
+	c.For(mm.np, func(i int) {
+		s := make([]int32, m)
+		for z := 0; z < m; z++ {
+			s[z] = mm.cols.PatternName(i*m + z)
+		}
+		sliceStrings[i] = s
+	})
+	mm.slices, err = multimatch.New(c, sliceStrings)
+	if err != nil {
+		return nil, err
+	}
+	return mm, nil
+}
+
+// M reports the cube side length.
+func (mm *Matcher3D) M() int { return mm.m }
+
+// Match returns, per cell (z,y,x) of the zdim×ydim×xdim text cube, the index
+// of the pattern whose corner matches there, or -1.
+func (mm *Matcher3D) Match(c *pram.Ctx, text [][][]int32) [][][]int32 {
+	zd := len(text)
+	out := make([][][]int32, zd)
+	for z := range out {
+		yd := len(text[z])
+		out[z] = make([][]int32, yd)
+		c.For(yd, func(y int) {
+			out[z][y] = make([]int32, len(text[z][y]))
+			for x := range out[z][y] {
+				out[z][y][x] = -1
+			}
+		})
+	}
+	if mm.np == 0 || mm.m == 0 || zd < mm.m {
+		return out
+	}
+
+	// Regular dims (use minimums; irregular fringes never match).
+	ydim := len(text[0])
+	xdim := 0
+	if ydim > 0 {
+		xdim = len(text[0][0])
+	}
+	for z := 0; z < zd; z++ {
+		if len(text[z]) < ydim {
+			ydim = len(text[z])
+		}
+		for y := 0; y < len(text[z]); y++ {
+			if len(text[z][y]) < xdim {
+				xdim = len(text[z][y])
+			}
+		}
+	}
+	if ydim < mm.m || xdim < mm.m {
+		return out
+	}
+
+	// Round 1: rows (x direction).
+	lines := make([][]int32, 0, zd*ydim)
+	for z := 0; z < zd; z++ {
+		for y := 0; y < ydim; y++ {
+			lines = append(lines, text[z][y][:xdim])
+		}
+	}
+	rowNames := matchLines(c, mm.rows, lines)
+
+	// Round 2: columns (y direction) within each z-slice.
+	// colNames[(z*ydim+y)][x] after transpose: build y-lines per (z, x).
+	yLines := make([][]int32, zd*xdim)
+	c.For(zd*xdim, func(i int) {
+		z, x := i/xdim, i%xdim
+		s := make([]int32, ydim)
+		for y := 0; y < ydim; y++ {
+			s[y] = rowNames[z*ydim+y][x]
+		}
+		yLines[i] = s
+	})
+	colNames := matchLines(c, mm.cols, yLines)
+
+	// Round 3: z direction per (y, x).
+	zLines := make([][]int32, ydim*xdim)
+	c.For(ydim*xdim, func(i int) {
+		y, x := i/xdim, i%xdim
+		s := make([]int32, zd)
+		for z := 0; z < zd; z++ {
+			s[z] = colNames[z*xdim+x][y]
+		}
+		zLines[i] = s
+	})
+	finals := matchLines(c, mm.slices, zLines)
+
+	c.For(ydim*xdim, func(i int) {
+		y, x := i/xdim, i%xdim
+		for z := 0; z+mm.m <= zd; z++ {
+			if name := finals[i][z]; name != naming.None {
+				out[z][y][x] = mm.slices.NameToPattern(name)
+			}
+		}
+	})
+	return out
+}
+
+// matchLines runs MatchNames over many lines via one None-separated
+// concatenation and returns the per-line name slices.
+func matchLines(c *pram.Ctx, mm *multimatch.Matcher, lines [][]int32) [][]int32 {
+	off := make([]int, len(lines)+1)
+	for i, l := range lines {
+		off[i+1] = off[i] + len(l) + 1
+	}
+	c.AddWork(int64(len(lines)))
+	concat := make([]int32, off[len(lines)])
+	pram.Fill(c, concat, naming.None)
+	c.For(len(lines), func(i int) {
+		copy(concat[off[i]:], lines[i])
+	})
+	names := mm.MatchNames(c, concat)
+	out := make([][]int32, len(lines))
+	c.For(len(lines), func(i int) {
+		out[i] = names[off[i] : off[i]+len(lines[i])]
+	})
+	return out
+}

@@ -1,0 +1,299 @@
+package multimatch
+
+import (
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Match returns, for each text position, the index of the pattern matching
+// there, or -1. Since all patterns have equal length, the longest match and
+// the unique match coincide. Work is O(n) after preprocessing (Theorem 11).
+func (mm *Matcher) Match(c *pram.Ctx, text []int32) []int32 {
+	n := len(text)
+	out := make([]int32, n)
+	pram.Fill(c, out, -1)
+	if n == 0 || mm.np == 0 {
+		return out
+	}
+
+	names := mm.MatchNames(c, text)
+	c.For(n, func(j int) {
+		if v := names[j]; v != naming.None {
+			out[j] = mm.patOf[v]
+		}
+	})
+	return out
+}
+
+// MatchNames returns, per position, the top-level name of the matching
+// pattern (naming.None when no pattern matches). Exposed for composition:
+// higher-dimensional matching feeds these name arrays into further rounds.
+func (mm *Matcher) MatchNames(c *pram.Ctx, text []int32) []int32 {
+	n := len(text)
+	depth := len(mm.levels)
+	if depth == 0 {
+		none := make([]int32, n)
+		pram.Fill(c, none, naming.None)
+		return none
+	}
+
+	// Active positions per level: level d+1 keeps the even-index elements of
+	// each level-d copy; copies are arithmetic progressions of stride 4^d.
+	act := make([][]int32, depth)
+	act[0] = make([]int32, n)
+	c.For(n, func(j int) { act[0][j] = int32(j) })
+	offsets := []int32{0}
+	for d := 1; d < depth; d++ {
+		stride := pow4(d - 1)
+		next := make([]int32, 0, 2*len(offsets))
+		for _, o := range offsets {
+			if int(o) < n {
+				next = append(next, o)
+			}
+			if o2 := o + 2*stride; int(o2) < n {
+				next = append(next, o2)
+			}
+		}
+		offsets = next
+		act[d] = enumerate(c, offsets, 4*stride, n)
+	}
+
+	// Symbol arrays per level (computed only at live positions).
+	syms := make([][]int32, depth)
+	syms[0] = text
+	for d := 1; d < depth; d++ {
+		lv := mm.levels[d-1]
+		s := int(pow4(d - 1))
+		prev := syms[d-1]
+		cur := make([]int32, n)
+		a := act[d]
+		c.For(len(a), func(i int) {
+			j := int(a[i])
+			cur[j] = lookup4(lv, prev, j, s, n)
+		})
+		syms[d] = cur
+	}
+
+	// Base case at the deepest level.
+	last := depth - 1
+	match := mm.matchBase(c, mm.levels[last], syms[last], act[last], n)
+
+	// Unwind: Steps 3b (even positions) and 3c (odd positions).
+	for d := last - 1; d >= 0; d-- {
+		lv := mm.levels[d]
+		s := int(pow4(d))
+		symD := syms[d]
+		prevMatch := match
+		cur := make([]int32, n)
+		// Step 3b over the surviving (even) positions.
+		a1 := act[d+1]
+		c.For(len(a1), func(i int) {
+			j := int(a1[i])
+			cur[j] = mm.step3b(lv, symD, prevMatch[j], j, s, n)
+		})
+		// Step 3c over the deleted (odd) positions: act[d] minus act[d+1].
+		// A position's index within its copy is (j-o)/s with o = j mod s
+		// (offsets are < stride by construction), so its parity is
+		// (j/s) mod 2.
+		a0 := act[d]
+		c.For(len(a0), func(i int) {
+			j := int(a0[i])
+			if (j/s)%2 == 1 {
+				cur[j] = mm.step3c(lv, symD, prevMatch, j, s, n)
+			}
+		})
+		match = cur
+	}
+	return match
+}
+
+// step3b checks whether a full level pattern matches at even position j,
+// given alpha = the shrunk-pattern name matching there.
+func (mm *Matcher) step3b(lv *level, symD []int32, alpha int32, j, s, n int) int32 {
+	if alpha == naming.None {
+		return naming.None
+	}
+	res := textResidue(lv, symD, j+4*lv.mPrime*s, s, n)
+	if res == naming.None {
+		return naming.None
+	}
+	t1, ok := lv.tb1.Get(naming.EncodePair(alpha, res))
+	if !ok {
+		return naming.None
+	}
+	lastPos := j + (lv.lambda-1)*s
+	if lastPos >= n {
+		return naming.None
+	}
+	last := symD[lastPos]
+	if last == naming.None {
+		return naming.None
+	}
+	return lv.tb2.Lookup(naming.EncodePair(t1, last))
+}
+
+// step3c extends the match at j's right neighbor (even, surviving) one
+// symbol left to the deleted odd position j.
+func (mm *Matcher) step3c(lv *level, symD []int32, prevMatch []int32, j, s, n int) int32 {
+	jr := j + s
+	if jr >= n {
+		return naming.None
+	}
+	alpha := prevMatch[jr]
+	if alpha == naming.None {
+		return naming.None
+	}
+	res := textResidue(lv, symD, jr+4*lv.mPrime*s, s, n)
+	if res == naming.None {
+		return naming.None
+	}
+	u1, ok := lv.tc1.Get(naming.EncodePair(alpha, res))
+	if !ok {
+		return naming.None
+	}
+	first := symD[j]
+	if first == naming.None {
+		return naming.None
+	}
+	return lv.tc2.Lookup(naming.EncodePair(u1, first))
+}
+
+// textResidue names the resLen level symbols starting at position p
+// (stride s), mirroring buildResidueTables.
+func textResidue(lv *level, symD []int32, p, s, n int) int32 {
+	switch lv.resLen {
+	case 0:
+		return 0
+	case 1:
+		return symAt(symD, p, n)
+	case 2:
+		a, b := symAt(symD, p, n), symAt(symD, p+s, n)
+		if a == naming.None || b == naming.None {
+			return naming.None
+		}
+		return lv.res2.Lookup(naming.EncodePair(a, b))
+	default: // 3
+		a, b, cc := symAt(symD, p, n), symAt(symD, p+s, n), symAt(symD, p+2*s, n)
+		if a == naming.None || b == naming.None || cc == naming.None {
+			return naming.None
+		}
+		r2, ok := lv.res2.Get(naming.EncodePair(a, b))
+		if !ok {
+			return naming.None
+		}
+		return lv.res3.Lookup(naming.EncodePair(r2, cc))
+	}
+}
+
+func symAt(symD []int32, p, n int) int32 {
+	if p >= n {
+		return naming.None
+	}
+	return symD[p]
+}
+
+// matchBase resolves lambda ≤ 4 matches by direct composition lookups.
+func (mm *Matcher) matchBase(c *pram.Ctx, lv *level, symD []int32, a []int32, n int) []int32 {
+	match := make([]int32, n)
+	c.For(len(a), func(i int) {
+		j := int(a[i])
+		match[j] = mm.baseAt(lv, symD, j, n)
+	})
+	return match
+}
+
+func (mm *Matcher) baseAt(lv *level, symD []int32, j, n int) int32 {
+	// Note: base level positions have stride 4^(depth-1); but the base level
+	// was reached with symbols already at that stride, and a lambda≤4 match
+	// reads symbols j, j+s, ... — s is carried via symD construction, so the
+	// stride here is the level's own: 4^(len(levels)-1).
+	s := int(pow4(len(mm.levels) - 1))
+	s0 := symAt(symD, j, n)
+	if s0 == naming.None {
+		return naming.None
+	}
+	switch lv.lambda {
+	case 1:
+		return lv.base2.Lookup(naming.EncodePair(s0, 0))
+	case 2:
+		s1 := symAt(symD, j+s, n)
+		if s1 == naming.None {
+			return naming.None
+		}
+		return lv.base2.Lookup(naming.EncodePair(s0, s1))
+	case 3:
+		s1, s2 := symAt(symD, j+s, n), symAt(symD, j+2*s, n)
+		if s1 == naming.None || s2 == naming.None {
+			return naming.None
+		}
+		p, ok := lv.base2.Get(naming.EncodePair(s0, s1))
+		if !ok {
+			return naming.None
+		}
+		return lv.base3.Lookup(naming.EncodePair(p, s2))
+	default: // 4
+		s1, s2, s3 := symAt(symD, j+s, n), symAt(symD, j+2*s, n), symAt(symD, j+3*s, n)
+		if s1 == naming.None || s2 == naming.None || s3 == naming.None {
+			return naming.None
+		}
+		pa, ok := lv.base2.Get(naming.EncodePair(s0, s1))
+		if !ok {
+			return naming.None
+		}
+		pb, ok := lv.base2.Get(naming.EncodePair(s2, s3))
+		if !ok {
+			return naming.None
+		}
+		return lv.base4.Lookup(naming.EncodePair(pa, pb))
+	}
+}
+
+// lookup4 composes the level-(d+1) symbol (4-block) at position j from
+// level-d symbols with stride s.
+func lookup4(lv *level, prev []int32, j, s, n int) int32 {
+	if j+3*s >= n {
+		return naming.None
+	}
+	a, b, cc, dd := prev[j], prev[j+s], prev[j+2*s], prev[j+3*s]
+	if a == naming.None || b == naming.None || cc == naming.None || dd == naming.None {
+		return naming.None
+	}
+	p1, ok := lv.pair1.Get(naming.EncodePair(a, b))
+	if !ok {
+		return naming.None
+	}
+	p2, ok := lv.pair1.Get(naming.EncodePair(cc, dd))
+	if !ok {
+		return naming.None
+	}
+	return lv.pair2.Lookup(naming.EncodePair(p1, p2))
+}
+
+// enumerate lists, in copy order, all positions o + t·stride < n for each
+// offset o. Within each copy, consecutive entries alternate even/odd index,
+// which the unwind relies on (the slice is laid out copy-major, so entry
+// parity within a copy equals parity of the local index).
+func enumerate(c *pram.Ctx, offsets []int32, stride int32, n int) []int32 {
+	counts := make([]int, len(offsets))
+	c.For(len(offsets), func(i int) {
+		o := int(offsets[i])
+		if o < n {
+			counts[i] = (n - o + int(stride) - 1) / int(stride)
+		}
+	})
+	cp := append([]int(nil), counts...)
+	total := c.ExclusiveScanInt(cp)
+	out := make([]int32, total)
+	c.For(len(offsets), func(i int) {
+		base := cp[i]
+		o := offsets[i]
+		for t := 0; t < counts[i]; t++ {
+			out[base+t] = o + int32(t)*stride
+		}
+	})
+	return out
+}
+
+func pow4(d int) int32 {
+	return int32(1) << uint(2*d)
+}

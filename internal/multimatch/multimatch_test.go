@@ -1,0 +1,254 @@
+package multimatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func enc(s string) []int32 {
+	out := make([]int32, len(s))
+	for i := range s {
+		out[i] = int32(s[i])
+	}
+	return out
+}
+
+func encAll(ss ...string) [][]int32 {
+	out := make([][]int32, len(ss))
+	for i, s := range ss {
+		out[i] = enc(s)
+	}
+	return out
+}
+
+func check(t *testing.T, pats [][]int32, text []int32) {
+	t.Helper()
+	c := ctx()
+	mm, err := New(c, pats)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := mm.Match(c, text)
+	want := naive.LongestPattern(pats, text)
+	for j := range text {
+		// Tolerate duplicate patterns: compare by content identity.
+		if got[j] == want[j] {
+			continue
+		}
+		if got[j] >= 0 && want[j] >= 0 && equal(pats[got[j]], pats[want[j]]) {
+			continue
+		}
+		t.Fatalf("pos %d: got %d want %d (pats=%v text=%v)", j, got[j], want[j], pats, text)
+	}
+}
+
+func equal(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTinyLengths(t *testing.T) {
+	for _, pats := range [][][]int32{
+		encAll("a"),
+		encAll("a", "b"),
+		encAll("ab", "ba", "aa"),
+		encAll("abc", "bca", "cab"),
+		encAll("abcd", "dcba", "aaaa"),
+	} {
+		check(t, pats, enc("abcdabcdaabbccddbcadcba"))
+	}
+}
+
+func TestLength5Through9(t *testing.T) {
+	// Exercises one recursion level with every residue length 0..3.
+	for _, m := range []int{5, 6, 7, 8, 9} {
+		rng := rand.New(rand.NewSource(int64(m)))
+		var pats [][]int32
+		for i := 0; i < 6; i++ {
+			p := make([]int32, m)
+			for k := range p {
+				p[k] = int32(rng.Intn(3))
+			}
+			pats = append(pats, p)
+		}
+		text := make([]int32, 200)
+		for i := range text {
+			text[i] = int32(rng.Intn(3))
+		}
+		// Plant occurrences.
+		copy(text[17:], pats[0])
+		copy(text[91:], pats[3])
+		copy(text[200-m:], pats[5])
+		check(t, pats, text)
+	}
+}
+
+func TestDeepRecursion(t *testing.T) {
+	// Lengths spanning several levels of shrink-by-4.
+	for _, m := range []int{16, 21, 33, 64, 85, 100, 128} {
+		rng := rand.New(rand.NewSource(int64(m) * 7))
+		var pats [][]int32
+		for i := 0; i < 5; i++ {
+			p := make([]int32, m)
+			for k := range p {
+				p[k] = int32(rng.Intn(2))
+			}
+			pats = append(pats, p)
+		}
+		text := make([]int32, 600)
+		for i := range text {
+			text[i] = int32(rng.Intn(2))
+		}
+		for _, at := range []int{3, 64, 123, 277, 600 - m} {
+			copy(text[at:], pats[rng.Intn(len(pats))])
+		}
+		check(t, pats, text)
+	}
+}
+
+func TestRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(40)
+		sigma := 1 + rng.Intn(3)
+		np := 1 + rng.Intn(6)
+		pats := make([][]int32, np)
+		for i := range pats {
+			p := make([]int32, m)
+			for k := range p {
+				p[k] = int32(rng.Intn(sigma))
+			}
+			pats[i] = p
+		}
+		text := make([]int32, rng.Intn(150))
+		for i := range text {
+			text[i] = int32(rng.Intn(sigma))
+		}
+		check(t, pats, text)
+	}
+}
+
+func TestMatchAtEveryOffset(t *testing.T) {
+	// One pattern planted at every offset in turn: exercises the odd/even
+	// position recovery (step 3c) at all alignments and all levels.
+	for _, m := range []int{5, 13, 17} {
+		rng := rand.New(rand.NewSource(int64(m)))
+		p := make([]int32, m)
+		for k := range p {
+			p[k] = int32(1 + rng.Intn(3))
+		}
+		c := ctx()
+		mm, err := New(c, [][]int32{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 3*m + 11
+		for at := 0; at+m <= n; at++ {
+			text := make([]int32, n) // zeros: never match p (p uses 1..3)
+			copy(text[at:], p)
+			got := mm.Match(c, text)
+			for j := 0; j < n; j++ {
+				want := int32(-1)
+				if j == at {
+					want = 0
+				}
+				if got[j] != want {
+					t.Fatalf("m=%d at=%d pos=%d: got %d want %d", m, at, j, got[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlappingOccurrences(t *testing.T) {
+	check(t, encAll("aaaa"), enc("aaaaaaaaa"))
+	check(t, encAll("abab", "baba"), enc("abababababab"))
+}
+
+func TestErrors(t *testing.T) {
+	c := ctx()
+	if _, err := New(c, encAll("ab", "abc")); err != ErrUnequalLengths {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New(c, [][]int32{{}}); err != ErrEmptyPattern {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyDict(t *testing.T) {
+	c := ctx()
+	mm, err := New(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mm.Match(c, enc("abc"))
+	for _, v := range got {
+		if v != -1 {
+			t.Fatal("empty dictionary matched")
+		}
+	}
+}
+
+func TestPatternLongerThanText(t *testing.T) {
+	check(t, encAll("aaaaaaaaaaaaaaaaa"), enc("aaa"))
+}
+
+func TestDuplicatePatternsTolerated(t *testing.T) {
+	check(t, encAll("abcab", "abcab", "bcabc"), enc("abcabcabcab"))
+}
+
+func TestWorkIsLinearish(t *testing.T) {
+	// Sanity: per-char matching work must not grow with m (Theorem 11's
+	// point); allow generous slack for constants.
+	rng := rand.New(rand.NewSource(5))
+	perChar := map[int]float64{}
+	for _, m := range []int{16, 256} {
+		pats := make([][]int32, 4)
+		for i := range pats {
+			p := make([]int32, m)
+			for k := range p {
+				p[k] = int32(rng.Intn(4))
+			}
+			pats[i] = p
+		}
+		n := 1 << 15
+		text := make([]int32, n)
+		for i := range text {
+			text[i] = int32(rng.Intn(4))
+		}
+		c := ctx()
+		mm, err := New(c, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ResetStats()
+		mm.Match(c, text)
+		perChar[m] = float64(c.Work()) / float64(n)
+	}
+	if perChar[256] > 3*perChar[16] {
+		t.Fatalf("work per char grew with m: %v", perChar)
+	}
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	c := ctx()
+	mm, err := New(c, encAll("abc", "xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.M() != 3 || mm.PatternCount() != 2 {
+		t.Fatalf("M=%d PatternCount=%d", mm.M(), mm.PatternCount())
+	}
+}

@@ -1,0 +1,129 @@
+package multimatch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+	"pardict/internal/workload"
+)
+
+// TestQuickEqualsNaive: arbitrary equal-length instances equal the oracle.
+func TestQuickEqualsNaive(t *testing.T) {
+	c := ctx()
+	f := func(seed int64, mRaw, npRaw, sigmaRaw uint8, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(mRaw%50)
+		np := 1 + int(npRaw%5)
+		sigma := 1 + int(sigmaRaw%3)
+		pats := make([][]int32, np)
+		for i := range pats {
+			p := make([]int32, m)
+			for k := range p {
+				p[k] = int32(rng.Intn(sigma))
+			}
+			pats[i] = p
+		}
+		text := make([]int32, int(nRaw%400))
+		for i := range text {
+			text[i] = int32(rng.Intn(sigma))
+		}
+		mm, err := New(c, pats)
+		if err != nil {
+			return false
+		}
+		got := mm.Match(c, text)
+		want := naive.LongestPattern(pats, text)
+		for j := range text {
+			if got[j] == want[j] {
+				continue
+			}
+			if got[j] >= 0 && want[j] >= 0 && equal(pats[got[j]], pats[want[j]]) {
+				continue // duplicate contents are interchangeable
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatternNamesBijective: PatternName is a naming function on patterns.
+func TestPatternNamesBijective(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(30)
+		np := 2 + rng.Intn(8)
+		pats := make([][]int32, np)
+		for i := range pats {
+			p := make([]int32, m)
+			for k := range p {
+				p[k] = int32(rng.Intn(2))
+			}
+			pats[i] = p
+		}
+		c := ctx()
+		mm, err := New(c, pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < np; i++ {
+			for j := i + 1; j < np; j++ {
+				same := equal(pats[i], pats[j])
+				if same != (mm.PatternName(i) == mm.PatternName(j)) {
+					t.Fatalf("patterns %d,%d: content-eq=%v name-eq=%v",
+						i, j, same, mm.PatternName(i) == mm.PatternName(j))
+				}
+			}
+			if mm.NameToPattern(mm.PatternName(i)) < 0 {
+				t.Fatalf("NameToPattern broken for %d", i)
+			}
+		}
+		if mm.NameToPattern(-1) != -1 || mm.NameToPattern(1<<30) != -1 {
+			t.Fatal("NameToPattern must reject bad names")
+		}
+	}
+}
+
+// TestPeriodicAdversarial: maximally periodic inputs (every position is a
+// candidate) across length classes that hit each residue branch.
+func TestPeriodicAdversarial(t *testing.T) {
+	for _, m := range []int{5, 6, 7, 8, 9, 13, 21, 64} {
+		w := []int32{0, 1}
+		p := workload.PeriodicText(m, w)
+		q := workload.PeriodicText(m, []int32{1, 0})
+		text := workload.PeriodicText(257, w)
+		check(t, [][]int32{p, q}, text)
+	}
+}
+
+// TestAllZeroPatterns: unary alphabet, worst-case name collisions.
+func TestAllZeroPatterns(t *testing.T) {
+	for _, m := range []int{1, 4, 5, 16, 17} {
+		p := make([]int32, m)
+		text := make([]int32, 3*m+1)
+		check(t, [][]int32{p}, text)
+	}
+}
+
+// TestStatsLinearWork: Theorem 11's bound as a counter assertion.
+func TestStatsLinearWork(t *testing.T) {
+	m := 256
+	pats := workload.EqualLengthDictionary(3, 16, m, 4)
+	n := 1 << 16
+	text := workload.Text(4, n, 4)
+	c := pram.New(0)
+	mm, err := New(c, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ResetStats()
+	mm.Match(c, text)
+	if w := c.Work(); w > int64(12*n) {
+		t.Fatalf("match work %d exceeds 12·n — not linear", w)
+	}
+}

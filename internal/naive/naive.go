@@ -1,0 +1,295 @@
+// Package naive provides brute-force reference matchers. They are the
+// correctness oracles for the engines: O(n·M) (and worse) time, trivially
+// correct by inspection.
+package naive
+
+// LongestPrefix returns, for each text position, the length of the longest
+// prefix of any pattern that matches there, and the index of one pattern
+// having that prefix (-1-filled when nothing matches).
+func LongestPrefix(patterns [][]int32, text []int32) (lens []int32, pat []int32) {
+	n := len(text)
+	lens = make([]int32, n)
+	pat = make([]int32, n)
+	for j := range pat {
+		pat[j] = -1
+	}
+	for j := 0; j < n; j++ {
+		for pi, p := range patterns {
+			l := 0
+			for l < len(p) && j+l < n && p[l] == text[j+l] {
+				l++
+			}
+			if int32(l) > lens[j] {
+				lens[j] = int32(l)
+				pat[j] = int32(pi)
+			}
+		}
+	}
+	return lens, pat
+}
+
+// LongestPattern returns, for each text position, the index of the longest
+// pattern that fully matches there, or -1. Ties cannot occur for distinct
+// patterns of equal content; among equal-length candidates the result is the
+// unique full match of that length.
+func LongestPattern(patterns [][]int32, text []int32) []int32 {
+	n := len(text)
+	out := make([]int32, n)
+	for j := range out {
+		out[j] = -1
+	}
+	for j := 0; j < n; j++ {
+		best := -1
+		for pi, p := range patterns {
+			if len(p) > n-j || (best >= 0 && len(p) <= len(patterns[best])) {
+				continue
+			}
+			ok := true
+			for l := range p {
+				if p[l] != text[j+l] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				best = pi
+			}
+		}
+		out[j] = int32(best)
+	}
+	return out
+}
+
+// AllMatches returns, for each text position, the indices of all patterns
+// fully matching there, in decreasing length order.
+func AllMatches(patterns [][]int32, text []int32) [][]int32 {
+	n := len(text)
+	out := make([][]int32, n)
+	order := make([]int, len(patterns))
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by decreasing length (stable insertion; pattern counts are small
+	// in oracle usage).
+	for i := 1; i < len(order); i++ {
+		for k := i; k > 0 && len(patterns[order[k]]) > len(patterns[order[k-1]]); k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	for j := 0; j < n; j++ {
+		for _, pi := range order {
+			p := patterns[pi]
+			if len(p) > n-j {
+				continue
+			}
+			ok := true
+			for l := range p {
+				if p[l] != text[j+l] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[j] = append(out[j], int32(pi))
+			}
+		}
+	}
+	return out
+}
+
+// LongestSquarePrefix2D returns, for each text cell (i,j) of an r×c text,
+// the largest s such that some pattern's top-left s×s square matches with
+// its corner at (i,j), along with one such pattern's index.
+func LongestSquarePrefix2D(patterns [][][]int32, text [][]int32) (size [][]int32, pat [][]int32) {
+	r := len(text)
+	c := 0
+	if r > 0 {
+		c = len(text[0])
+	}
+	size = make([][]int32, r)
+	pat = make([][]int32, r)
+	for i := range size {
+		size[i] = make([]int32, c)
+		pat[i] = make([]int32, c)
+		for j := range pat[i] {
+			pat[i][j] = -1
+		}
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			for pi, p := range patterns {
+				s := 0
+				for s < len(p) && i+s < r && j+s < c {
+					ok := true
+					// check new border row/col of the (s+1)×(s+1) square
+					for t := 0; t <= s; t++ {
+						if p[s][t] != text[i+s][j+t] || p[t][s] != text[i+t][j+s] {
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						break
+					}
+					s++
+				}
+				if int32(s) > size[i][j] {
+					size[i][j] = int32(s)
+					pat[i][j] = int32(pi)
+				}
+			}
+		}
+	}
+	return size, pat
+}
+
+// LargestFullMatch2D returns, for each cell, the index of the pattern with
+// the largest side that fully matches with its top-left corner there, or -1.
+func LargestFullMatch2D(patterns [][][]int32, text [][]int32) [][]int32 {
+	r := len(text)
+	c := 0
+	if r > 0 {
+		c = len(text[0])
+	}
+	out := make([][]int32, r)
+	for i := range out {
+		out[i] = make([]int32, c)
+		for j := range out[i] {
+			out[i][j] = -1
+		}
+	}
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			best := -1
+			for pi, p := range patterns {
+				s := len(p)
+				if i+s > r || j+s > c {
+					continue
+				}
+				if best >= 0 && s <= len(patterns[best]) {
+					continue
+				}
+				ok := true
+				for a := 0; a < s && ok; a++ {
+					for b := 0; b < s; b++ {
+						if p[a][b] != text[i+a][j+b] {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					best = pi
+				}
+			}
+			out[i][j] = int32(best)
+		}
+	}
+	return out
+}
+
+// LongestCubePrefix3D returns, for each cell (z,y,x) of a cube text, the
+// largest s such that some pattern's corner s×s×s cube matches there, plus
+// one such pattern's index.
+func LongestCubePrefix3D(patterns [][][][]int32, text [][][]int32) (size [][][]int32, pat [][][]int32) {
+	zd := len(text)
+	size = make([][][]int32, zd)
+	pat = make([][][]int32, zd)
+	for z := range text {
+		size[z] = make([][]int32, len(text[z]))
+		pat[z] = make([][]int32, len(text[z]))
+		for y := range text[z] {
+			size[z][y] = make([]int32, len(text[z][y]))
+			pat[z][y] = make([]int32, len(text[z][y]))
+			for x := range pat[z][y] {
+				pat[z][y][x] = -1
+			}
+		}
+	}
+	fits := func(p [][][]int32, z, y, x, s int) bool {
+		for a := 0; a < s; a++ {
+			if z+a >= zd || y+s > len(text[z+a]) {
+				return false
+			}
+			for b := 0; b < s; b++ {
+				if x+s > len(text[z+a][y+b]) {
+					return false
+				}
+				for c := 0; c < s; c++ {
+					if p[a][b][c] != text[z+a][y+b][x+c] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for z := 0; z < zd; z++ {
+		for y := range text[z] {
+			for x := range text[z][y] {
+				for pi, p := range patterns {
+					s := int(size[z][y][x])
+					for s < len(p) && fits(p, z, y, x, s+1) {
+						s++
+						size[z][y][x] = int32(s)
+						pat[z][y][x] = int32(pi)
+					}
+				}
+			}
+		}
+	}
+	return size, pat
+}
+
+// LargestFullMatch3D returns, per cell, the index of the largest-side
+// pattern cube fully matching with its corner there, or -1.
+func LargestFullMatch3D(patterns [][][][]int32, text [][][]int32) [][][]int32 {
+	zd := len(text)
+	out := make([][][]int32, zd)
+	for z := range out {
+		out[z] = make([][]int32, len(text[z]))
+		for y := range out[z] {
+			out[z][y] = make([]int32, len(text[z][y]))
+			for x := range out[z][y] {
+				out[z][y][x] = -1
+			}
+		}
+	}
+	for z := 0; z < zd; z++ {
+		for y := range text[z] {
+			for x := range text[z][y] {
+				best := -1
+				for pi, p := range patterns {
+					s := len(p)
+					if best >= 0 && s <= len(patterns[best]) {
+						continue
+					}
+					ok := true
+					for a := 0; a < s && ok; a++ {
+						if z+a >= zd || y+s > len(text[z+a]) {
+							ok = false
+							break
+						}
+						for b := 0; b < s && ok; b++ {
+							if x+s > len(text[z+a][y+b]) {
+								ok = false
+								break
+							}
+							for c := 0; c < s; c++ {
+								if p[a][b][c] != text[z+a][y+b][x+c] {
+									ok = false
+									break
+								}
+							}
+						}
+					}
+					if ok {
+						best = pi
+					}
+				}
+				out[z][y][x] = int32(best)
+			}
+		}
+	}
+	return out
+}

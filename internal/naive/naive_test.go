@@ -1,0 +1,112 @@
+package naive
+
+import "testing"
+
+func enc(s string) []int32 {
+	out := make([]int32, len(s))
+	for i := range s {
+		out[i] = int32(s[i])
+	}
+	return out
+}
+
+func TestLongestPrefix(t *testing.T) {
+	pats := [][]int32{enc("abc"), enc("abd"), enc("b")}
+	lens, pat := LongestPrefix(pats, enc("abdxb"))
+	wantLens := []int32{3, 1, 0, 0, 1}
+	for i := range wantLens {
+		if lens[i] != wantLens[i] {
+			t.Fatalf("lens = %v, want %v", lens, wantLens)
+		}
+	}
+	if pat[0] != 1 { // "abd" matched fully
+		t.Fatalf("pat[0] = %d", pat[0])
+	}
+	if pat[3] != -1 {
+		t.Fatalf("pat[3] = %d", pat[3])
+	}
+}
+
+func TestLongestPattern(t *testing.T) {
+	pats := [][]int32{enc("ab"), enc("abc"), enc("b")}
+	got := LongestPattern(pats, enc("abcb"))
+	want := []int32{1, 2, -1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAllMatchesOrderedByLength(t *testing.T) {
+	pats := [][]int32{enc("a"), enc("abc"), enc("ab")}
+	got := AllMatches(pats, enc("abc"))
+	if len(got[0]) != 3 {
+		t.Fatalf("got %v", got[0])
+	}
+	// Decreasing length: abc (1), ab (2), a (0).
+	want := []int32{1, 2, 0}
+	for i := range want {
+		if got[0][i] != want[i] {
+			t.Fatalf("got %v want %v", got[0], want)
+		}
+	}
+	if got[1] != nil || len(got[2]) != 0 {
+		t.Fatalf("unexpected matches: %v", got)
+	}
+}
+
+func grid(rows ...string) [][]int32 {
+	out := make([][]int32, len(rows))
+	for i, r := range rows {
+		out[i] = enc(r)
+	}
+	return out
+}
+
+func TestLongestSquarePrefix2D(t *testing.T) {
+	pats := [][][]int32{grid("ab", "cd")}
+	size, pat := LongestSquarePrefix2D(pats, grid("abx", "cdx", "xxx"))
+	if size[0][0] != 2 || pat[0][0] != 0 {
+		t.Fatalf("size=%d pat=%d", size[0][0], pat[0][0])
+	}
+	if size[0][1] != 0 || pat[0][1] != -1 {
+		t.Fatalf("cell (0,1): size=%d pat=%d", size[0][1], pat[0][1])
+	}
+	// 'a' alone matches the 1x1 prefix wherever an 'a' occurs.
+	size2, _ := LongestSquarePrefix2D(pats, grid("xa", "xx"))
+	if size2[0][1] != 1 {
+		t.Fatalf("1x1 prefix: %d", size2[0][1])
+	}
+}
+
+func TestLargestFullMatch2D(t *testing.T) {
+	pats := [][][]int32{grid("a"), grid("ab", "cd")}
+	got := LargestFullMatch2D(pats, grid("ab", "cd"))
+	if got[0][0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0][1] != -1 || got[1][0] != -1 {
+		t.Fatalf("got %v", got)
+	}
+	empty := LargestFullMatch2D(nil, grid("ab"))
+	if empty[0][0] != -1 {
+		t.Fatal("empty dictionary matched")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	lens, pat := LongestPrefix(nil, enc("abc"))
+	for i := range lens {
+		if lens[i] != 0 || pat[i] != -1 {
+			t.Fatal("empty dict must not match")
+		}
+	}
+	if got := LongestPattern([][]int32{enc("a")}, nil); len(got) != 0 {
+		t.Fatal("empty text")
+	}
+	s, p := LongestSquarePrefix2D(nil, nil)
+	if len(s) != 0 || len(p) != 0 {
+		t.Fatal("empty 2D")
+	}
+}

@@ -1,0 +1,91 @@
+package naming
+
+import "pardict/internal/pram"
+
+// Frozen is an immutable open-addressing view of a Table, built once after
+// preprocessing and used on the matching hot path: a linear-probed
+// power-of-two array beats the general-purpose map on the uint64-key
+// lookups that dominate Match (one probe chain per text position per
+// level). Any value except None may be stored (None marks empty slots).
+type Frozen struct {
+	keys  []uint64
+	vals  []int32
+	mask  uint64
+	shift uint
+	n     int
+}
+
+// Freeze builds the open-addressing view. No value in t may equal None.
+func Freeze(c *pram.Ctx, t *Table) *Frozen {
+	n := t.Len()
+	size := 1
+	for size < 2*n || size < 8 {
+		size <<= 1
+	}
+	f := &Frozen{
+		keys: make([]uint64, size),
+		vals: make([]int32, size),
+		mask: uint64(size - 1),
+		n:    n,
+	}
+	f.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		f.shift--
+	}
+	for i := range f.vals {
+		f.vals[i] = None
+	}
+	t.Range(func(k uint64, v int32) bool {
+		if v == None {
+			panic("naming: Freeze cannot store None values")
+		}
+		i := (k * fib64) >> f.shift
+		for f.vals[i] != None {
+			i = (i + 1) & f.mask
+		}
+		f.keys[i] = k
+		f.vals[i] = v
+		return true
+	})
+	if c != nil {
+		c.AddWork(int64(n))
+		c.AddDepth(1)
+	}
+	return f
+}
+
+// Len reports the number of entries.
+func (f *Frozen) Len() int { return f.n }
+
+// Get returns the stamp for k.
+func (f *Frozen) Get(k uint64) (int32, bool) {
+	i := (k * fib64) >> f.shift
+	for {
+		v := f.vals[i]
+		if v == None {
+			return None, false
+		}
+		if f.keys[i] == k {
+			return v, true
+		}
+		i = (i + 1) & f.mask
+	}
+}
+
+// Lookup returns the stamp for k, or None.
+func (f *Frozen) Lookup(k uint64) int32 {
+	v, _ := f.Get(k)
+	return v
+}
+
+// Range calls fn for every entry until it returns false.
+func (f *Frozen) Range(fn func(k uint64, v int32) bool) {
+	for i, v := range f.vals {
+		if v == None {
+			continue
+		}
+		if !fn(f.keys[i], v) {
+			return
+		}
+	}
+}

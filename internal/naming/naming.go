@@ -1,0 +1,86 @@
+// Package naming implements the paper's basic primitives (§3): naming,
+// namestamping, and the encodings they share.
+//
+// A *name* is a small integer certificate for a string such that two strings
+// of the same length receive equal names iff they are equal (Karp, Miller &
+// Rosenberg). The paper realizes naming by namestamping into O(M²) tables;
+// we substitute hash tables (constant expected time, linear space) and — for
+// deterministic canonical names — radix-sort ranking (see DESIGN.md §2).
+package naming
+
+import (
+	"pardict/internal/intsort"
+	"pardict/internal/pram"
+)
+
+// Empty is the reserved name of the empty string (length-0 prefix). It is
+// distinct from every allocated name and from None.
+const Empty int32 = -2
+
+// None is the sentinel "no name": a text substring that does not occur in the
+// dictionary. None propagates (a pair with a None component is None) and
+// fails every table lookup, implementing the paper's "special symbols"
+// remark in §3.1.
+const None int32 = -1
+
+// EncodePair packs an ordered pair of names into a table key. Names are
+// int32, so the packing is injective.
+func EncodePair(a, b int32) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// DecodePair unpacks a key produced by EncodePair.
+func DecodePair(k uint64) (a, b int32) {
+	return int32(uint32(k >> 32)), int32(uint32(k))
+}
+
+// BatchName assigns each key a dense deterministic name in [0, distinct):
+// equal keys get equal names, and names are ranks in sorted key order, so the
+// assignment does not depend on input order or hashing. This is the Naming
+// primitive of §3.1 realized with the integer-sort substitute.
+func BatchName(c *pram.Ctx, keys []uint64) (names []int32, distinct int) {
+	n := len(keys)
+	names = make([]int32, n)
+	if n == 0 {
+		return names, 0
+	}
+	ps := make([]intsort.Pair, n)
+	c.For(n, func(i int) { ps[i] = intsort.Pair{Key: keys[i], Idx: int32(i)} })
+	intsort.Sort(c, ps)
+	distinct = intsort.RankDistinct(c, ps, names)
+	return names, distinct
+}
+
+// BatchNameRep is BatchName extended with representatives: reps[id] is the
+// index (into keys) of the canonical occurrence of the key that received
+// name id — the first occurrence in sorted order, so the choice is
+// deterministic.
+func BatchNameRep(c *pram.Ctx, keys []uint64) (names []int32, reps []int32, distinct int) {
+	n := len(keys)
+	names = make([]int32, n)
+	if n == 0 {
+		return names, nil, 0
+	}
+	ps := make([]intsort.Pair, n)
+	c.For(n, func(i int) { ps[i] = intsort.Pair{Key: keys[i], Idx: int32(i)} })
+	intsort.Sort(c, ps)
+	marks := make([]int64, n)
+	c.For(n, func(i int) {
+		if i == 0 || ps[i].Key != ps[i-1].Key {
+			marks[i] = 1
+		}
+	})
+	d := c.ExclusiveScan(marks)
+	distinct = int(d)
+	reps = make([]int32, distinct)
+	c.For(n, func(i int) {
+		if i == 0 || ps[i].Key != ps[i-1].Key {
+			id := int32(marks[i])
+			names[ps[i].Idx] = id
+			reps[id] = ps[i].Idx
+		} else {
+			names[ps[i].Idx] = int32(marks[i]) - 1
+		}
+	})
+	return names, reps, distinct
+}

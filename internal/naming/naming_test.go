@@ -1,0 +1,304 @@
+package naming
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pardict/internal/pram"
+)
+
+func TestEncodeDecodePair(t *testing.T) {
+	cases := [][2]int32{{0, 0}, {1, 2}, {-1, 5}, {Empty, None}, {1 << 30, -(1 << 30)}}
+	for _, c := range cases {
+		a, b := DecodePair(EncodePair(c[0], c[1]))
+		if a != c[0] || b != c[1] {
+			t.Fatalf("roundtrip (%d,%d) -> (%d,%d)", c[0], c[1], a, b)
+		}
+	}
+}
+
+func TestEncodePairInjective(t *testing.T) {
+	f := func(a1, b1, a2, b2 int32) bool {
+		if a1 == a2 && b1 == b2 {
+			return EncodePair(a1, b1) == EncodePair(a2, b2)
+		}
+		return EncodePair(a1, b1) != EncodePair(a2, b2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchNameIsNamingFunction(t *testing.T) {
+	// δ(s1) == δ(s2) iff s1 == s2 (§3.1 Naming definition).
+	c := pram.New(0)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(2000)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(60))
+		}
+		names, distinct := BatchName(c, keys)
+		byKey := map[uint64]int32{}
+		seenName := map[int32]uint64{}
+		for i, k := range keys {
+			if prev, ok := byKey[k]; ok && prev != names[i] {
+				t.Fatalf("equal keys got names %d and %d", prev, names[i])
+			}
+			byKey[k] = names[i]
+			if prevKey, ok := seenName[names[i]]; ok && prevKey != k {
+				t.Fatalf("name %d assigned to keys %d and %d", names[i], prevKey, k)
+			}
+			seenName[names[i]] = k
+			if names[i] < 0 || int(names[i]) >= distinct {
+				t.Fatalf("name %d out of range [0,%d)", names[i], distinct)
+			}
+		}
+		if len(byKey) != distinct {
+			t.Fatalf("distinct = %d, want %d", distinct, len(byKey))
+		}
+	}
+}
+
+func TestBatchNameDeterministic(t *testing.T) {
+	// Names are sorted-rank based: independent of input order.
+	c := pram.New(0)
+	keys := []uint64{50, 10, 10, 30, 50, 20}
+	names, _ := BatchName(c, keys)
+	// ranks: 10->0, 20->1, 30->2, 50->3
+	want := []int32{3, 0, 0, 2, 3, 1}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestBatchNameRep(t *testing.T) {
+	c := pram.New(0)
+	keys := []uint64{7, 3, 7, 3, 9}
+	names, reps, distinct := BatchNameRep(c, keys)
+	if distinct != 3 {
+		t.Fatalf("distinct = %d", distinct)
+	}
+	for i, k := range keys {
+		if keys[reps[names[i]]] != k {
+			t.Fatalf("rep of name %d has key %d, want %d", names[i], keys[reps[names[i]]], k)
+		}
+	}
+	// Rep is the first occurrence in input order (stable sort guarantee).
+	if reps[names[0]] != 0 || reps[names[1]] != 1 {
+		t.Fatalf("reps = %v not first occurrences", reps)
+	}
+}
+
+func TestBatchNameEmpty(t *testing.T) {
+	c := pram.New(0)
+	names, distinct := BatchName(c, nil)
+	if len(names) != 0 || distinct != 0 {
+		t.Fatal("empty batch")
+	}
+}
+
+func TestTableBasic(t *testing.T) {
+	c := pram.New(0)
+	tb := NewTable(c)
+	if _, ok := tb.Get(5); ok {
+		t.Fatal("empty table Get must miss")
+	}
+	tb.Put(5, 50)
+	if v, ok := tb.Get(5); !ok || v != 50 {
+		t.Fatal("put/get failed")
+	}
+	if v := tb.Lookup(6); v != None {
+		t.Fatalf("lookup miss = %d, want None", v)
+	}
+	if v, ins := tb.PutIfAbsent(5, 99); ins || v != 50 {
+		t.Fatal("PutIfAbsent must keep resident value")
+	}
+	if v, ins := tb.PutIfAbsent(6, 60); !ins || v != 60 {
+		t.Fatal("PutIfAbsent must insert when absent")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	tb.Delete(5)
+	if _, ok := tb.Get(5); ok {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestBuildTableFirstWins(t *testing.T) {
+	c := pram.New(0)
+	keys := []uint64{1, 2, 1, 3, 2}
+	vals := []int32{10, 20, 99, 30, 88}
+	tb := BuildTable(c, keys, vals)
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	for k, want := range map[uint64]int32{1: 10, 2: 20, 3: 30} {
+		if v, ok := tb.Get(k); !ok || v != want {
+			t.Fatalf("key %d: got %d,%v want %d", k, v, ok, want)
+		}
+	}
+}
+
+func TestBuildTableLarge(t *testing.T) {
+	c := pram.New(0)
+	n := 100000
+	keys := make([]uint64, n)
+	vals := make([]int32, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 2654435761
+		vals[i] = int32(i)
+	}
+	tb := BuildTable(c, keys, vals)
+	if tb.Len() != n {
+		t.Fatalf("len = %d want %d", tb.Len(), n)
+	}
+	for i := 0; i < n; i += 997 {
+		if v, ok := tb.Get(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("key %d: %d,%v", keys[i], v, ok)
+		}
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	c := pram.New(0)
+	tb := NewTable(c)
+	want := map[uint64]int32{1: 10, 2: 20, 3: 30}
+	for k, v := range want {
+		tb.Put(k, v)
+	}
+	got := map[uint64]int32{}
+	tb.Range(func(k uint64, v int32) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("range visited %d entries", len(got))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("range got[%d] = %d", k, got[k])
+		}
+	}
+	count := 0
+	tb.Range(func(uint64, int32) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestCountTable(t *testing.T) {
+	ct := NewCountTable()
+	if got := ct.Insert(1, 11); got != 11 {
+		t.Fatalf("first insert stamp %d", got)
+	}
+	if got := ct.Insert(1, 99); got != 11 {
+		t.Fatalf("second insert must keep resident stamp, got %d", got)
+	}
+	if ct.Count(1) != 2 {
+		t.Fatalf("count = %d", ct.Count(1))
+	}
+	if !ct.Remove(1) {
+		t.Fatal("remove with remaining refs must report present")
+	}
+	if v, ok := ct.Get(1); !ok || v != 11 {
+		t.Fatal("stamp must survive partial removal")
+	}
+	if ct.Remove(1) {
+		t.Fatal("last removal must clear")
+	}
+	if _, ok := ct.Get(1); ok {
+		t.Fatal("entry must be gone")
+	}
+	if ct.Remove(42) {
+		t.Fatal("removing absent key must report absent")
+	}
+	if ct.Lookup(42) != None {
+		t.Fatal("lookup of absent must be None")
+	}
+	if ct.Len() != 0 {
+		t.Fatalf("len = %d", ct.Len())
+	}
+}
+
+func TestFrozenMatchesTable(t *testing.T) {
+	c := pram.New(0)
+	tb := NewTable(c)
+	rng := rand.New(rand.NewSource(91))
+	ref := map[uint64]int32{}
+	for i := 0; i < 50000; i++ {
+		k := rng.Uint64()
+		v := int32(rng.Intn(1 << 30))
+		if _, ok := ref[k]; !ok {
+			ref[k] = v
+			tb.Put(k, v)
+		}
+	}
+	// Include adversarial keys: 0 and clustered keys.
+	tb.Put(0, 7)
+	ref[0] = 7
+	for k := uint64(1); k < 100; k++ {
+		tb.Put(k, int32(k))
+		ref[k] = int32(k)
+	}
+	tb.Put(200, Empty) // Empty is storable (only None is reserved)
+	ref[200] = Empty
+	f := Freeze(c, tb)
+	if f.Len() != tb.Len() {
+		t.Fatalf("len %d vs %d", f.Len(), tb.Len())
+	}
+	for k, v := range ref {
+		if got := f.Lookup(k); got != v {
+			t.Fatalf("key %d: got %d want %d", k, got, v)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64()
+		if _, ok := ref[k]; ok {
+			continue
+		}
+		if v, ok := f.Get(k); ok {
+			t.Fatalf("phantom hit: key %d -> %d", k, v)
+		}
+	}
+	// Range visits every entry exactly once.
+	seen := map[uint64]bool{}
+	f.Range(func(k uint64, v int32) bool {
+		if seen[k] || ref[k] != v {
+			t.Fatalf("range anomaly at key %d", k)
+		}
+		seen[k] = true
+		return true
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("range visited %d of %d", len(seen), len(ref))
+	}
+}
+
+func TestFrozenEmpty(t *testing.T) {
+	c := pram.New(0)
+	f := Freeze(c, NewTable(c))
+	if _, ok := f.Get(42); ok {
+		t.Fatal("empty frozen hit")
+	}
+	if f.Len() != 0 {
+		t.Fatal("len != 0")
+	}
+}
+
+func TestFreezeRejectsNoneValues(t *testing.T) {
+	c := pram.New(0)
+	tb := NewTable(c)
+	tb.Put(1, None)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Freeze(c, tb)
+}

@@ -1,0 +1,199 @@
+package naming
+
+import (
+	"pardict/internal/pram"
+)
+
+// Table is the namestamping structure of §3.2: a map from elements (encoded
+// as uint64 keys) to stamps (int32). It substitutes for the paper's O(M²)
+// stamp tables with linear space and O(1) expected lookups.
+//
+// Tables are built in parallel (sharded by key hash) and support single-
+// writer mutation afterwards; concurrent readers are safe as long as no
+// writer is active, which matches how the engines use them (preprocessing
+// and dictionary updates are serialized; text matching only reads).
+type Table struct {
+	shards []map[uint64]int32
+	shift  uint
+}
+
+const fib64 = 0x9E3779B97F4A7C15
+
+// NewTable returns an empty table with a shard count suited to c's pool (or
+// a small default when c is nil).
+func NewTable(c *pram.Ctx) *Table {
+	procs := 4
+	if c != nil {
+		procs = c.Procs()
+	}
+	nshards := 1
+	for nshards < 4*procs {
+		nshards <<= 1
+	}
+	t := &Table{shards: make([]map[uint64]int32, nshards)}
+	for i := range t.shards {
+		t.shards[i] = make(map[uint64]int32)
+	}
+	t.shift = 64
+	for s := nshards; s > 1; s >>= 1 {
+		t.shift--
+	}
+	return t
+}
+
+func (t *Table) shardOf(k uint64) map[uint64]int32 {
+	return t.shards[(k*fib64)>>t.shift]
+}
+
+// BuildTable constructs a table mapping keys[i] -> vals[i]. When a key
+// repeats, the entry with the smallest index wins, making the build
+// deterministic (the paper's arbitrary-CRCW write resolved canonically).
+// The build runs one parallel phase per shard set, charging len(keys) work.
+func BuildTable(c *pram.Ctx, keys []uint64, vals []int32) *Table {
+	t := NewTable(c)
+	n := len(keys)
+	if n == 0 {
+		return t
+	}
+	nshards := len(t.shards)
+	c.For(nshards, func(s int) {
+		m := t.shards[s]
+		for i := 0; i < n; i++ {
+			k := keys[i]
+			if int((k*fib64)>>t.shift) != s {
+				continue
+			}
+			if _, ok := m[k]; !ok {
+				m[k] = vals[i]
+			}
+		}
+	})
+	// Each shard scans all n keys; charge the PRAM-equivalent n work (one
+	// processor per tuple writes its shard) rather than the n*shards scan
+	// the shared-memory emulation performs.
+	c.AddWork(int64(n) - int64(nshards))
+	return t
+}
+
+// Get returns the stamp for k.
+func (t *Table) Get(k uint64) (int32, bool) {
+	v, ok := t.shardOf(k)[k]
+	return v, ok
+}
+
+// Lookup returns the stamp for k, or None when absent.
+func (t *Table) Lookup(k uint64) int32 {
+	if v, ok := t.shardOf(k)[k]; ok {
+		return v
+	}
+	return None
+}
+
+// Put inserts or overwrites the stamp for k. Single-writer only.
+func (t *Table) Put(k uint64, v int32) {
+	t.shardOf(k)[k] = v
+}
+
+// PutIfAbsent inserts v for k if no stamp exists and returns the resident
+// stamp along with whether an insert happened. Single-writer only.
+func (t *Table) PutIfAbsent(k uint64, v int32) (resident int32, inserted bool) {
+	m := t.shardOf(k)
+	if old, ok := m[k]; ok {
+		return old, false
+	}
+	m[k] = v
+	return v, true
+}
+
+// Delete removes k. Single-writer only.
+func (t *Table) Delete(k uint64) {
+	delete(t.shardOf(k), k)
+}
+
+// Len reports the number of entries.
+func (t *Table) Len() int {
+	n := 0
+	for _, m := range t.shards {
+		n += len(m)
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// unspecified. Single-threaded use only.
+func (t *Table) Range(f func(k uint64, v int32) bool) {
+	for _, m := range t.shards {
+		for k, v := range m {
+			if !f(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// CountTable is the dynamic stamp-counting structure of §6.2.1: each element
+// carries a stamp and a count of live tuples with that element. Deleting
+// decrements the count and clears the stamp at zero.
+type CountTable struct {
+	m map[uint64]countEntry
+}
+
+type countEntry struct {
+	stamp int32
+	count int32
+}
+
+// NewCountTable returns an empty CountTable.
+func NewCountTable() *CountTable {
+	return &CountTable{m: make(map[uint64]countEntry)}
+}
+
+// Insert adds one tuple with element k and stamp v. If k is already present
+// its resident stamp is kept (and returned); otherwise v becomes resident.
+func (t *CountTable) Insert(k uint64, v int32) int32 {
+	if e, ok := t.m[k]; ok {
+		e.count++
+		t.m[k] = e
+		return e.stamp
+	}
+	t.m[k] = countEntry{stamp: v, count: 1}
+	return v
+}
+
+// Remove deletes one tuple with element k, clearing the entry when the count
+// reaches zero. It reports whether the element remains present.
+func (t *CountTable) Remove(k uint64) bool {
+	e, ok := t.m[k]
+	if !ok {
+		return false
+	}
+	e.count--
+	if e.count <= 0 {
+		delete(t.m, k)
+		return false
+	}
+	t.m[k] = e
+	return true
+}
+
+// Get returns the resident stamp for k.
+func (t *CountTable) Get(k uint64) (int32, bool) {
+	e, ok := t.m[k]
+	return e.stamp, ok
+}
+
+// Lookup returns the resident stamp for k, or None.
+func (t *CountTable) Lookup(k uint64) int32 {
+	if e, ok := t.m[k]; ok {
+		return e.stamp
+	}
+	return None
+}
+
+// Count returns the live-tuple count for k.
+func (t *CountTable) Count(k uint64) int {
+	return int(t.m[k].count)
+}
+
+// Len reports the number of distinct elements.
+func (t *CountTable) Len() int { return len(t.m) }

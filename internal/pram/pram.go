@@ -1,0 +1,241 @@
+// Package pram provides a work-depth parallel execution engine that stands in
+// for the arbitrary CRCW PRAM of Muthukrishnan & Palem (SPAA 1993).
+//
+// The paper's algorithms consist entirely of bulk-synchronous phases: every
+// PRAM step applies a uniform operation to each element of an array. This
+// package executes such phases on a goroutine worker pool and instruments
+// them with two counters that reproduce the quantities the paper's theorems
+// bound:
+//
+//   - Work:  the total number of element operations executed, summed over all
+//     phases (the PRAM "processors × time" product).
+//   - Depth: the number of dependent parallel phases (the PRAM parallel time,
+//     up to constant factors per phase).
+//
+// All entry points are safe for use from a single algorithm goroutine; the
+// engine itself fans work out internally.
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Ctx carries the worker pool configuration and the instrumentation counters
+// for one algorithm execution. The zero value is not usable; call New.
+type Ctx struct {
+	procs int
+
+	work  atomic.Int64
+	depth atomic.Int64
+}
+
+// New returns a Ctx that runs parallel phases on up to procs workers.
+// procs <= 0 selects runtime.GOMAXPROCS(0).
+func New(procs int) *Ctx {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	return &Ctx{procs: procs}
+}
+
+// Procs reports the worker-pool width this context fans out to.
+func (c *Ctx) Procs() int { return c.procs }
+
+// Work returns the accumulated work counter (element operations).
+func (c *Ctx) Work() int64 { return c.work.Load() }
+
+// Depth returns the accumulated depth counter (dependent parallel phases).
+func (c *Ctx) Depth() int64 { return c.depth.Load() }
+
+// ResetStats zeroes the work and depth counters.
+func (c *Ctx) ResetStats() {
+	c.work.Store(0)
+	c.depth.Store(0)
+}
+
+// AddWork charges n units of work without running anything. Algorithms use it
+// for bookkeeping done outside a parallel phase (e.g. table construction via
+// a library call).
+func (c *Ctx) AddWork(n int64) { c.work.Add(n) }
+
+// AddDepth charges d units of depth without running anything.
+func (c *Ctx) AddDepth(d int64) { c.depth.Add(d) }
+
+// grainFor picks a chunk size that amortizes scheduling overhead while still
+// exposing enough chunks to balance load across the pool.
+func (c *Ctx) grainFor(n int) int {
+	g := n / (4 * c.procs)
+	if g < 64 {
+		g = 64
+	}
+	return g
+}
+
+// For runs body(i) for every i in [0, n) as one parallel phase, charging n
+// work and 1 depth. The body must not depend on iteration order and must not
+// write to data read by other iterations of the same phase (the CRCW
+// concurrent writes used by the paper are expressed with atomics or
+// last-writer-wins stores by the caller).
+func (c *Ctx) For(n int, body func(i int)) {
+	c.ForChunk(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunk runs body(lo, hi) over a partition of [0, n) as one parallel
+// phase, charging n work and 1 depth. It is the loop-blocked variant of For
+// for bodies that benefit from chunk-local state.
+func (c *Ctx) ForChunk(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	c.work.Add(int64(n))
+	c.depth.Add(1)
+	grain := c.grainFor(n)
+	if n <= grain || c.procs == 1 {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := c.procs
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Phase charges one unit of depth and w units of work for a step executed
+// inline by f. It exists so sequential glue (e.g. a single table lookup per
+// recursion level) is reflected in the depth accounting.
+func (c *Ctx) Phase(w int64, f func()) {
+	c.depth.Add(1)
+	c.work.Add(w)
+	f()
+}
+
+// ReduceInt64 computes the reduction of f over [0, n) with the associative
+// combiner comb and identity id, in one parallel phase (n work, 1 depth; the
+// O(log n) combining tree is folded into the phase as the paper's theorems
+// do for constant-fan-in reductions).
+func (c *Ctx) ReduceInt64(n int, id int64, f func(i int) int64, comb func(a, b int64) int64) int64 {
+	if n <= 0 {
+		return id
+	}
+	var mu sync.Mutex
+	acc := id
+	c.ForChunk(n, func(lo, hi int) {
+		local := id
+		for i := lo; i < hi; i++ {
+			local = comb(local, f(i))
+		}
+		mu.Lock()
+		acc = comb(acc, local)
+		mu.Unlock()
+	})
+	return acc
+}
+
+// MaxInt returns the maximum of f over [0, n), or def when n <= 0.
+func (c *Ctx) MaxInt(n int, def int, f func(i int) int) int {
+	if n <= 0 {
+		return def
+	}
+	r := c.ReduceInt64(n, int64(f(0)), func(i int) int64 { return int64(f(i)) },
+		func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	return int(r)
+}
+
+// ExclusiveScan replaces xs with its exclusive prefix sums and returns the
+// total. It runs as two parallel phases over the chunked decomposition
+// (2n work, 2 depth), the standard work-efficient scan.
+func (c *Ctx) ExclusiveScan(xs []int64) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	grain := c.grainFor(n)
+	chunks := (n + grain - 1) / grain
+	if chunks == 1 || c.procs == 1 {
+		c.work.Add(int64(n))
+		c.depth.Add(1)
+		var sum int64
+		for i := range xs {
+			v := xs[i]
+			xs[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	sums := make([]int64, chunks)
+	c.ForChunk(n, func(lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		sums[lo/grain] = s
+	})
+	var total int64
+	for i, s := range sums {
+		sums[i] = total
+		total += s
+	}
+	c.ForChunk(n, func(lo, hi int) {
+		s := sums[lo/grain]
+		for i := lo; i < hi; i++ {
+			v := xs[i]
+			xs[i] = s
+			s += v
+		}
+	})
+	return total
+}
+
+// ExclusiveScanInt is ExclusiveScan for int slices.
+func (c *Ctx) ExclusiveScanInt(xs []int) int {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]int64, n)
+	c.For(n, func(i int) { tmp[i] = int64(xs[i]) })
+	total := c.ExclusiveScan(tmp)
+	c.For(n, func(i int) { xs[i] = int(tmp[i]) })
+	return int(total)
+}
+
+// Fill sets xs[i] = v for all i in one parallel phase.
+func Fill[T any](c *Ctx, xs []T, v T) {
+	c.For(len(xs), func(i int) { xs[i] = v })
+}
+
+// Copy copies src into dst (which must be at least as long) in one phase.
+func Copy[T any](c *Ctx, dst, src []T) {
+	c.For(len(src), func(i int) { dst[i] = src[i] })
+}

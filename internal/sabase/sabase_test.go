@@ -1,0 +1,64 @@
+package sabase
+
+import (
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/workload"
+)
+
+func TestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		sigma := 2 + rng.Intn(4)
+		np := 1 + rng.Intn(10)
+		pats := workload.Dictionary(int64(trial), np, 1, 12, sigma)
+		text := workload.Text(int64(trial)+1000, rng.Intn(100), sigma)
+		m := New(pats)
+		got := m.LongestMatch(text)
+		want := naive.LongestPattern(pats, text)
+		for j := range text {
+			if got[j] != want[j] {
+				t.Fatalf("trial %d pos %d: got %d want %d", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	m := New(nil)
+	got := m.LongestMatch([]int32{1, 2, 3})
+	for _, v := range got {
+		if v != -1 {
+			t.Fatal("matched with empty dictionary")
+		}
+	}
+	if m.MaxLen() != 0 {
+		t.Fatalf("maxLen = %d", m.MaxLen())
+	}
+}
+
+func TestNested(t *testing.T) {
+	pats := workload.NestedDictionary(5)
+	text := make([]int32, 9)
+	m := New(pats)
+	got := m.LongestMatch(text)
+	want := naive.LongestPattern(pats, text)
+	for j := range text {
+		if got[j] != want[j] {
+			t.Fatalf("pos %d: got %d want %d", j, got[j], want[j])
+		}
+	}
+}
+
+func TestNegativeTextSymbols(t *testing.T) {
+	m := New([][]int32{{1, 2}})
+	got := m.LongestMatch([]int32{1, -5, 1, 2})
+	want := []int32{-1, -1, 0, -1}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

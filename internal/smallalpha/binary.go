@@ -1,0 +1,98 @@
+package smallalpha
+
+import (
+	"pardict/internal/alpha"
+	"pardict/internal/pram"
+)
+
+// BinaryMatcher implements Theorem 5: re-encode every symbol as a
+// ⌈log₂ σ⌉-bit binary code, run the §4.4 engine over the binary alphabet
+// with collapse parameter L (now measured in bits), and read results only at
+// bit positions that are multiples of the code width. This decouples the
+// alphabet-dependent preprocessing cost from σ: dictionary processing
+// becomes O(M·L·log σ) and text processing O(n·log m / L + n·log σ),
+// the bound the paper states after Theorem 5.
+type BinaryMatcher struct {
+	inner *Matcher
+	bits  int
+	np    int
+}
+
+// NewBinary builds the Theorem 5 matcher for patterns over {0..sigma-1}
+// with collapse parameter l measured in bits.
+func NewBinary(c *pram.Ctx, patterns [][]int32, sigma, l int) (*BinaryMatcher, error) {
+	bits := alpha.BitsFor(sigma)
+	expanded := make([][]int32, len(patterns))
+	for i, p := range patterns {
+		for _, s := range p {
+			if s < 0 || int(s) >= sigma {
+				return nil, errOutOfAlphabet(i, s, sigma)
+			}
+		}
+		expanded[i] = alpha.BinaryExpand(p, sigma)
+	}
+	c.AddWork(int64(bits) * int64(totalLen(patterns)))
+	c.AddDepth(1)
+	inner, err := New(c, expanded, 2, l)
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryMatcher{inner: inner, bits: bits, np: len(patterns)}, nil
+}
+
+func errOutOfAlphabet(pat int, sym int32, sigma int) error {
+	return &outOfAlphabetError{pat: pat, sym: sym, sigma: sigma}
+}
+
+type outOfAlphabetError struct {
+	pat   int
+	sym   int32
+	sigma int
+}
+
+func (e *outOfAlphabetError) Error() string {
+	return "smallalpha: pattern symbol outside alphabet (binary expansion)"
+}
+
+// Bits reports the code width ⌈log₂ σ⌉.
+func (m *BinaryMatcher) Bits() int { return m.bits }
+
+// L reports the collapse parameter (in bits).
+func (m *BinaryMatcher) L() int { return m.inner.L() }
+
+// Match returns, per original text position, the index of the longest
+// pattern matching there, or -1.
+//
+// Distinct original symbols expand to distinct fixed-width codes, so a
+// pattern occurrence at original position j is exactly an expanded-pattern
+// occurrence at bit position j·bits; intermediate bit positions are
+// discarded. Expanded pattern lengths scale uniformly by the code width,
+// so "longest" is preserved.
+func (m *BinaryMatcher) Match(c *pram.Ctx, text []int32) []int32 {
+	out := make([]int32, len(text))
+	pram.Fill(c, out, -1)
+	if m.np == 0 || len(text) == 0 {
+		return out
+	}
+	// Out-of-range text symbols must not alias a valid code: widen them to a
+	// bit value outside {0,1} so they can never match.
+	bits := m.bits
+	expanded := make([]int32, len(text)*bits)
+	c.For(len(text), func(i int) {
+		s := text[i]
+		if s < 0 || s >= 1<<uint(bits) {
+			for b := 0; b < bits; b++ {
+				expanded[i*bits+b] = -9
+			}
+			return
+		}
+		for b := 0; b < bits; b++ {
+			expanded[i*bits+b] = (s >> uint(bits-1-b)) & 1
+		}
+	})
+	inner := m.inner.Match(c, expanded)
+	c.For(len(text), func(i int) {
+		out[i] = inner[i*bits]
+	})
+	return out
+}

@@ -1,0 +1,172 @@
+package smallalpha
+
+import (
+	"pardict/internal/naming"
+	"pardict/internal/pram"
+)
+
+// Match returns, for each text position, the index of the longest pattern
+// matching there, or -1. Text symbols outside [0, sigma) never match.
+//
+// The text path performs O(n·log m / L + n) work in O(L + log m) depth: the
+// shrunk-anchor matching (general engine on n/L anchors) plus O(L) chained
+// lookups per anchor for block naming, Extend-Right, and Extend-Left.
+func (m *Matcher) Match(c *pram.Ctx, text []int32) []int32 {
+	n := len(text)
+	out := make([]int32, n)
+	pram.Fill(c, out, -1)
+	if n == 0 || m.np == 0 {
+		return out
+	}
+	l := m.l
+
+	// --- Collapse: name the L-block starting at each anchor kL.
+	nb := n / l // number of complete blocks
+	textPrime := make([]int32, nb)
+	c.For(nb, func(k int) {
+		state := naming.Empty
+		for t := 0; t < l; t++ {
+			sym := text[k*l+t]
+			if sym == naming.None || state == naming.None {
+				state = naming.None
+				break
+			}
+			state = m.blockStep.Lookup(naming.EncodePair(state, sym))
+			if state == naming.None {
+				break
+			}
+		}
+		textPrime[k] = state
+	})
+
+	// --- Match the collapsed text against 𝒫' (general engine, Theorem 1).
+	rp := m.dictPrime.MatchLongestPrefix(c, textPrime)
+
+	// --- Per anchor: Extend-Right then Extend-Left over its window.
+	// Anchors sit at 0, L, 2L, ..., (n/L)·L; when n is not a multiple of L a
+	// virtual anchor at n (with empty ψ) covers the trailing positions.
+	nAnchors := n/l + 1
+	c.For(nAnchors, func(k int) {
+		a := k * l
+		// ψ(a): longest 𝒫-prefix matching at anchor a.
+		length := 0
+		name := naming.Empty
+		if a < n && k < nb && rp.Len[k] > 0 {
+			length = int(rp.Len[k]) * l
+			name = m.mapPrime[rp.Name[k]]
+		}
+		// Extend right by at most L-1 symbols (§4.1 incremental extension).
+		for t := 0; t < l-1 && a+length < n; t++ {
+			sym := text[a+length]
+			if sym == naming.None {
+				break
+			}
+			nxt, ok := m.ext.Get(naming.EncodePair(name, sym))
+			if !ok {
+				break
+			}
+			name = nxt
+			length++
+		}
+		if a < n {
+			if name != naming.Empty {
+				out[a] = m.lpD[name]
+			}
+		}
+		// Extend left: positions a-1 .. a-L+1 via the α-iteration.
+		alpha := name
+		for ell := 1; ell < l && a-ell >= 0; ell++ {
+			sym := text[a-ell]
+			if sym < 0 || int(sym) >= m.sigma {
+				alpha = naming.Empty
+				out[a-ell] = -1
+				continue
+			}
+			alpha = m.alphaTab.Lookup(naming.EncodePair(sym, alpha))
+			if alpha == naming.None {
+				alpha = naming.Empty
+			}
+			if alpha != naming.Empty {
+				out[a-ell] = m.lpD[alpha]
+			} else {
+				out[a-ell] = -1
+			}
+		}
+	})
+	// Trailing window: positions between the last anchor and n, recovered by
+	// the α-iteration from the virtual anchor at n (disjoint from the last
+	// real anchor's window, so no position is written twice).
+	if r := n % l; r != 0 {
+		alpha := naming.Empty
+		lastAnchor := (n / l) * l
+		for p := n - 1; p > lastAnchor; p-- {
+			sym := text[p]
+			if sym < 0 || int(sym) >= m.sigma {
+				alpha = naming.Empty
+				out[p] = -1
+				continue
+			}
+			alpha = m.alphaTab.Lookup(naming.EncodePair(sym, alpha))
+			if alpha == naming.None {
+				alpha = naming.Empty
+			}
+			if alpha != naming.Empty {
+				out[p] = m.lpD[alpha]
+			}
+		}
+		c.AddWork(int64(r))
+	}
+	// The anchor loop is one parallel phase of O(L) sequential steps each.
+	c.AddDepth(int64(2 * l))
+	return out
+}
+
+// LongestPrefixAt is a diagnostic helper: the length of the longest
+// 𝒫-prefix (suffix-extended dictionary) matching at anchor-aligned position
+// a. It exists for tests of the ψ computation; general positions go through
+// Match.
+func (m *Matcher) LongestPrefixAt(c *pram.Ctx, text []int32, a int) int {
+	if m.np == 0 || a%m.l != 0 {
+		return -1
+	}
+	l := m.l
+	n := len(text)
+	nb := n / l
+	textPrime := make([]int32, nb)
+	c.For(nb, func(k int) {
+		state := naming.Empty
+		for t := 0; t < l; t++ {
+			sym := text[k*l+t]
+			if sym == naming.None || state == naming.None {
+				state = naming.None
+				break
+			}
+			state = m.blockStep.Lookup(naming.EncodePair(state, sym))
+			if state == naming.None {
+				break
+			}
+		}
+		textPrime[k] = state
+	})
+	rp := m.dictPrime.MatchLongestPrefix(c, textPrime)
+	k := a / l
+	length := 0
+	name := naming.Empty
+	if a < n && k < nb && rp.Len[k] > 0 {
+		length = int(rp.Len[k]) * l
+		name = m.mapPrime[rp.Name[k]]
+	}
+	for t := 0; t < l-1 && a+length < n; t++ {
+		sym := text[a+length]
+		if sym == naming.None {
+			break
+		}
+		nxt, ok := m.ext.Get(naming.EncodePair(name, sym))
+		if !ok {
+			break
+		}
+		name = nxt
+		length++
+	}
+	return length
+}

@@ -1,0 +1,228 @@
+package smallalpha
+
+import (
+	"math/rand"
+	"testing"
+
+	"pardict/internal/naive"
+	"pardict/internal/pram"
+)
+
+func ctx() *pram.Ctx { return pram.New(0) }
+
+func check(t *testing.T, pats [][]int32, text []int32, sigma, l int) {
+	t.Helper()
+	c := ctx()
+	m, err := New(c, pats, sigma, l)
+	if err != nil {
+		t.Fatalf("New(L=%d): %v", l, err)
+	}
+	got := m.Match(c, text)
+	want := naive.LongestPattern(pats, text)
+	for j := range text {
+		if got[j] != want[j] {
+			t.Fatalf("L=%d pos %d: got %d want %d (pats=%v text=%v)",
+				l, j, got[j], want[j], pats, text)
+		}
+	}
+}
+
+func randPats(rng *rand.Rand, np, maxLen, sigma int) [][]int32 {
+	seen := map[string]bool{}
+	var pats [][]int32
+	// Attempt cap: with tiny alphabets there may be fewer than np distinct
+	// strings of length <= maxLen; settle for what exists.
+	for attempts := 0; len(pats) < np && attempts < 10000; attempts++ {
+		l := 1 + rng.Intn(maxLen)
+		p := make([]int32, l)
+		b := make([]byte, l)
+		for i := range p {
+			v := int32(rng.Intn(sigma))
+			p[i] = v
+			b[i] = byte(v)
+		}
+		if seen[string(b)] {
+			continue
+		}
+		seen[string(b)] = true
+		pats = append(pats, p)
+	}
+	return pats
+}
+
+func randText(rng *rand.Rand, n, sigma int) []int32 {
+	text := make([]int32, n)
+	for i := range text {
+		text[i] = int32(rng.Intn(sigma))
+	}
+	return text
+}
+
+func TestBinaryAlphabetSweepL(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pats := randPats(rng, 8, 20, 2)
+	text := randText(rng, 333, 2)
+	for _, l := range []int{1, 2, 3, 4, 5, 7, 8} {
+		check(t, pats, text, 2, l)
+	}
+}
+
+func TestDNAAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pats := randPats(rng, 12, 30, 4)
+	for _, n := range []int{0, 1, 5, 64, 100, 257} {
+		text := randText(rng, n, 4)
+		for _, l := range []int{1, 2, 3, 4, 6} {
+			check(t, pats, text, 4, l)
+		}
+	}
+}
+
+func TestRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 80; trial++ {
+		sigma := 1 + rng.Intn(3)
+		pats := randPats(rng, 1+rng.Intn(6), 1+rng.Intn(12), sigma)
+		text := randText(rng, rng.Intn(80), sigma)
+		l := 1 + rng.Intn(6)
+		check(t, pats, text, sigma, l)
+	}
+}
+
+func TestPatternsShorterThanL(t *testing.T) {
+	// All patterns shorter than the collapse window: matching happens purely
+	// in the Extend phases.
+	pats := [][]int32{{0}, {1, 0}, {0, 1}}
+	rng := rand.New(rand.NewSource(31))
+	text := randText(rng, 97, 2)
+	check(t, pats, text, 2, 8)
+}
+
+func TestTailWindow(t *testing.T) {
+	// Matches hiding in the final partial window (n not a multiple of L).
+	pats := [][]int32{{1, 1, 0}, {0, 1}}
+	text := []int32{0, 0, 0, 0, 0, 1, 1, 0} // n=8
+	for _, l := range []int{3, 5, 7} {      // 8 % l != 0
+		check(t, pats, text, 2, l)
+	}
+}
+
+func TestOutOfAlphabetText(t *testing.T) {
+	pats := [][]int32{{0, 1}}
+	text := []int32{0, 1, 7, 0, 1, -1, 0, 1}
+	c := ctx()
+	m, err := New(c, pats, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Match(c, text)
+	want := []int32{0, -1, -1, 0, -1, -1, 0, -1}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("pos %d: got %d want %d", j, got[j], want[j])
+		}
+	}
+}
+
+func TestOutOfAlphabetPatternRejected(t *testing.T) {
+	c := ctx()
+	if _, err := New(c, [][]int32{{0, 5}}, 2, 2); err == nil {
+		t.Fatal("want error for out-of-alphabet pattern symbol")
+	}
+}
+
+func TestBadL(t *testing.T) {
+	c := ctx()
+	if _, err := New(c, [][]int32{{0}}, 2, 0); err != ErrBadL {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicatePatternsRejected(t *testing.T) {
+	c := ctx()
+	if _, err := New(c, [][]int32{{0, 1}, {1, 1}, {0, 1}}, 2, 2); err == nil {
+		t.Fatal("want duplicate error")
+	}
+}
+
+func TestPatternEqualToSuffixOfAnother(t *testing.T) {
+	// "ba" is a suffix of "aba" (drop 1); both are patterns — the suffix set
+	// must keep the pattern marking.
+	pats := [][]int32{{0, 1, 0}, {1, 0}}
+	rng := rand.New(rand.NewSource(37))
+	text := randText(rng, 120, 2)
+	for _, l := range []int{2, 3, 4} {
+		check(t, pats, text, 2, l)
+	}
+}
+
+func TestEmptyDict(t *testing.T) {
+	c := ctx()
+	m, err := New(c, nil, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Match(c, []int32{0, 1, 2})
+	for _, v := range got {
+		if v != -1 {
+			t.Fatal("empty dict matched")
+		}
+	}
+}
+
+func TestNestedPatterns(t *testing.T) {
+	pats := [][]int32{{0}, {0, 0}, {0, 0, 0}, {0, 0, 0, 0, 0}}
+	text := make([]int32, 23) // all zeros
+	for _, l := range []int{1, 2, 3, 4, 6} {
+		check(t, pats, text, 1, l)
+	}
+}
+
+func TestTextWorkDropsWithL(t *testing.T) {
+	// The point of §4.4: text-side work decreases as L grows (Theorem 4:
+	// O(n log m / L)). Compare counted work at L=1 vs L=4 on a long text.
+	rng := rand.New(rand.NewSource(41))
+	pats := randPats(rng, 20, 64, 4)
+	text := randText(rng, 1<<15, 4)
+	workAt := func(l int) int64 {
+		c := ctx()
+		m, err := New(c, pats, 4, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ResetStats()
+		m.Match(c, text)
+		return c.Work()
+	}
+	w1, w4 := workAt(1), workAt(4)
+	if w4 >= w1 {
+		t.Fatalf("work did not drop with L: L=1 %d, L=4 %d", w1, w4)
+	}
+}
+
+func TestLongestPrefixAtAnchor(t *testing.T) {
+	// ψ is the longest prefix over the suffix-extended set 𝒫, which can be
+	// longer than any original-pattern prefix.
+	pats := [][]int32{{1, 0, 0, 1, 1, 0}}
+	c := ctx()
+	m, err := New(c, pats, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anchor 0 text = suffix "0,1,1,0" of the pattern (drop 2 < L=3).
+	text := []int32{0, 1, 1, 0, 0, 0}
+	if got := m.LongestPrefixAt(c, text, 0); got != 4 {
+		t.Fatalf("psi = %d, want 4", got)
+	}
+}
+
+func TestMetadataAccessors(t *testing.T) {
+	c := ctx()
+	m, err := New(c, [][]int32{{0, 1, 0}}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLen() != 3 || m.L() != 2 {
+		t.Fatalf("MaxLen=%d L=%d", m.MaxLen(), m.L())
+	}
+}

@@ -1,0 +1,136 @@
+// Package trie implements the pattern trie maintained by the dynamic
+// dictionary-matching algorithms (§6.1.2): one node per distinct dictionary
+// prefix, with pattern nodes "marked". The query the engines need — the
+// longest pattern that is a prefix of a given prefix — is a nearest-marked-
+// ancestor query on this trie (static arrays here; see package eulertree for
+// the dynamic structure).
+package trie
+
+// None marks an absent node or pattern.
+const None int32 = -1
+
+// Trie is a growable trie over int32 symbols. Node 0 is the root (empty
+// prefix). Not safe for concurrent mutation.
+type Trie struct {
+	parent []int32
+	depth  []int32
+	patOf  []int32 // pattern index if this node is marked, else None
+	child  map[uint64]int32
+}
+
+// New returns a trie containing only the root.
+func New() *Trie {
+	return &Trie{
+		parent: []int32{None},
+		depth:  []int32{0},
+		patOf:  []int32{None},
+		child:  make(map[uint64]int32),
+	}
+}
+
+func key(node, sym int32) uint64 {
+	return uint64(uint32(node))<<32 | uint64(uint32(sym))
+}
+
+// Len reports the number of nodes (distinct prefixes + root).
+func (t *Trie) Len() int { return len(t.parent) }
+
+// Child returns the child of node on sym, or None.
+func (t *Trie) Child(node, sym int32) int32 {
+	if c, ok := t.child[key(node, sym)]; ok {
+		return c
+	}
+	return None
+}
+
+// Parent returns node's parent (None for the root).
+func (t *Trie) Parent(node int32) int32 { return t.parent[node] }
+
+// Depth returns node's depth (= prefix length).
+func (t *Trie) Depth(node int32) int32 { return t.depth[node] }
+
+// PatternAt returns the pattern index marked at node, or None.
+func (t *Trie) PatternAt(node int32) int32 { return t.patOf[node] }
+
+// Insert adds the string p, creating missing nodes, and returns the final
+// node plus the slice of newly created node ids in root→leaf order (the
+// callers feed these to the dynamic ancestor structure).
+func (t *Trie) Insert(p []int32) (node int32, created []int32) {
+	cur := int32(0)
+	for _, s := range p {
+		nxt, ok := t.child[key(cur, s)]
+		if !ok {
+			nxt = int32(len(t.parent))
+			t.parent = append(t.parent, cur)
+			t.depth = append(t.depth, t.depth[cur]+1)
+			t.patOf = append(t.patOf, None)
+			t.child[key(cur, s)] = nxt
+			created = append(created, nxt)
+		}
+		cur = nxt
+	}
+	return cur, created
+}
+
+// Walk returns the node of the longest prefix of p present in the trie and
+// its length.
+func (t *Trie) Walk(p []int32) (node int32, length int) {
+	cur := int32(0)
+	for i, s := range p {
+		nxt, ok := t.child[key(cur, s)]
+		if !ok {
+			return cur, i
+		}
+		cur = nxt
+	}
+	return cur, len(p)
+}
+
+// Mark records node as the endpoint of pattern pat. It reports whether the
+// node was previously unmarked.
+func (t *Trie) Mark(node, pat int32) bool {
+	if t.patOf[node] != None {
+		return false
+	}
+	t.patOf[node] = pat
+	return true
+}
+
+// Unmark clears the mark at node, returning the pattern that was there.
+func (t *Trie) Unmark(node int32) int32 {
+	p := t.patOf[node]
+	t.patOf[node] = None
+	return p
+}
+
+// IsMarked reports whether node is marked.
+func (t *Trie) IsMarked(node int32) bool { return t.patOf[node] != None }
+
+// NearestMarked walks parent links from node (inclusive) and returns the
+// first marked node, or None. O(depth) — the brute-force reference for the
+// eulertree structure, also used on short chains.
+func (t *Trie) NearestMarked(node int32) int32 {
+	for v := node; v != None; v = t.parent[v] {
+		if t.patOf[v] != None {
+			return v
+		}
+	}
+	return None
+}
+
+// ComputeNMA returns, for every node, its nearest marked ancestor
+// (inclusive), or None — the static §4.2 arrays, computed in one pass over
+// the nodes (parents precede children by construction).
+func (t *Trie) ComputeNMA() []int32 {
+	nma := make([]int32, len(t.parent))
+	for v := range nma {
+		if t.patOf[v] != None {
+			nma[v] = int32(v)
+		} else if p := t.parent[v]; p != None {
+			nma[v] = nma[p]
+		} else {
+			nma[v] = None
+		}
+	}
+	return nma
+}

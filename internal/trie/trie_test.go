@@ -1,0 +1,122 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func enc(s string) []int32 {
+	out := make([]int32, len(s))
+	for i := range s {
+		out[i] = int32(s[i])
+	}
+	return out
+}
+
+func TestInsertWalk(t *testing.T) {
+	tr := New()
+	n1, created := tr.Insert(enc("abc"))
+	if len(created) != 3 || tr.Depth(n1) != 3 {
+		t.Fatalf("created %v depth %d", created, tr.Depth(n1))
+	}
+	n2, created2 := tr.Insert(enc("abd"))
+	if len(created2) != 1 {
+		t.Fatalf("created %v", created2)
+	}
+	if n2 == n1 {
+		t.Fatal("distinct strings must end at distinct nodes")
+	}
+	n3, created3 := tr.Insert(enc("abc"))
+	if len(created3) != 0 || n3 != n1 {
+		t.Fatal("reinsert must create nothing")
+	}
+	node, l := tr.Walk(enc("abcdef"))
+	if node != n1 || l != 3 {
+		t.Fatalf("walk = (%d,%d)", node, l)
+	}
+	node, l = tr.Walk(enc("xyz"))
+	if node != 0 || l != 0 {
+		t.Fatalf("walk = (%d,%d)", node, l)
+	}
+}
+
+func TestMarkUnmark(t *testing.T) {
+	tr := New()
+	n, _ := tr.Insert(enc("ab"))
+	if !tr.Mark(n, 7) {
+		t.Fatal("first mark must succeed")
+	}
+	if tr.Mark(n, 8) {
+		t.Fatal("second mark must fail")
+	}
+	if !tr.IsMarked(n) || tr.PatternAt(n) != 7 {
+		t.Fatal("mark not recorded")
+	}
+	if got := tr.Unmark(n); got != 7 {
+		t.Fatalf("unmark returned %d", got)
+	}
+	if tr.IsMarked(n) {
+		t.Fatal("still marked")
+	}
+}
+
+func TestNearestMarked(t *testing.T) {
+	tr := New()
+	na, _ := tr.Insert(enc("a"))
+	nab, _ := tr.Insert(enc("ab"))
+	nabc, _ := tr.Insert(enc("abc"))
+	tr.Mark(na, 0)
+	tr.Mark(nabc, 2)
+	if got := tr.NearestMarked(nabc); got != nabc {
+		t.Fatalf("got %d", got)
+	}
+	if got := tr.NearestMarked(nab); got != na {
+		t.Fatalf("got %d", got)
+	}
+	if got := tr.NearestMarked(0); got != None {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestComputeNMA(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		l := 1 + rng.Intn(8)
+		p := make([]int32, l)
+		for k := range p {
+			p[k] = int32(rng.Intn(3))
+		}
+		n, _ := tr.Insert(p)
+		if rng.Intn(2) == 0 {
+			tr.Mark(n, int32(i))
+		}
+	}
+	nma := tr.ComputeNMA()
+	for v := int32(0); v < int32(tr.Len()); v++ {
+		if nma[v] != tr.NearestMarked(v) {
+			t.Fatalf("node %d: %d vs %d", v, nma[v], tr.NearestMarked(v))
+		}
+	}
+}
+
+func TestChildParent(t *testing.T) {
+	tr := New()
+	n, _ := tr.Insert(enc("xy"))
+	x := tr.Child(0, 'x')
+	if x == None {
+		t.Fatal("child x missing")
+	}
+	if tr.Child(x, 'y') != n {
+		t.Fatal("child y wrong")
+	}
+	if tr.Child(x, 'z') != None {
+		t.Fatal("phantom child")
+	}
+	if tr.Parent(n) != x || tr.Parent(x) != 0 || tr.Parent(0) != None {
+		t.Fatal("parents wrong")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

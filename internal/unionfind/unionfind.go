@@ -1,0 +1,61 @@
+// Package unionfind provides a classic disjoint-set forest with union by
+// rank and path compression. The fully dynamic dictionary-matching engine
+// (§6.2.2) uses it to keep track of surviving marked ancestors across
+// deletions between rebuilds.
+package unionfind
+
+// DSU is a disjoint-set union structure over integer elements. The zero
+// value is an empty structure; Grow before use.
+type DSU struct {
+	parent []int32
+	rank   []int8
+}
+
+// New returns a DSU over n singleton elements.
+func New(n int) *DSU {
+	d := &DSU{}
+	d.Grow(n)
+	return d
+}
+
+// Grow extends the element universe to n, adding singletons.
+func (d *DSU) Grow(n int) {
+	for len(d.parent) < n {
+		d.parent = append(d.parent, int32(len(d.parent)))
+		d.rank = append(d.rank, 0)
+	}
+}
+
+// Len reports the universe size.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int32) int32 {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (d *DSU) Union(a, b int32) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }

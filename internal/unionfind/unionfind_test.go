@@ -1,0 +1,97 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	d := New(5)
+	if d.Same(0, 1) {
+		t.Fatal("fresh singletons united")
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("union of distinct sets must report true")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("re-union must report false")
+	}
+	if !d.Same(0, 1) || d.Same(1, 2) {
+		t.Fatal("membership wrong")
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	for _, v := range []int32{0, 1, 2, 3} {
+		if !d.Same(0, v) {
+			t.Fatalf("%d not merged", v)
+		}
+	}
+	if d.Same(0, 4) {
+		t.Fatal("4 leaked in")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	d := &DSU{}
+	d.Grow(3)
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	d.Union(0, 2)
+	d.Grow(6)
+	if d.Len() != 6 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if d.Same(0, 5) || !d.Same(0, 2) {
+		t.Fatal("grow corrupted sets")
+	}
+}
+
+// naive reference: label array with full relabel on union.
+type naiveSets struct{ label []int }
+
+func (s *naiveSets) union(a, b int32) {
+	la, lb := s.label[a], s.label[b]
+	if la == lb {
+		return
+	}
+	for i, l := range s.label {
+		if l == lb {
+			s.label[i] = la
+		}
+	}
+}
+
+func TestRandomizedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(100)
+		d := New(n)
+		ref := &naiveSets{label: make([]int, n)}
+		for i := range ref.label {
+			ref.label[i] = i
+		}
+		for op := 0; op < 300; op++ {
+			a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				d.Union(a, b)
+				ref.union(a, b)
+			} else if got, want := d.Same(a, b), ref.label[a] == ref.label[b]; got != want {
+				t.Fatalf("same(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFindIsIdempotent(t *testing.T) {
+	d := New(50)
+	f := func(a, b uint8) bool {
+		x, y := int32(a)%50, int32(b)%50
+		d.Union(x, y)
+		return d.Find(x) == d.Find(d.Find(x)) && d.Same(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import "testing"
+
+func TestTextDeterministic(t *testing.T) {
+	a := Text(7, 1000, 4)
+	b := Text(7, 1000, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different texts")
+		}
+		if a[i] < 0 || a[i] >= 4 {
+			t.Fatalf("symbol %d out of range", a[i])
+		}
+	}
+	c := Text(8, 1000, 4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical texts")
+	}
+}
+
+func TestDictionaryDistinct(t *testing.T) {
+	pats := Dictionary(3, 50, 1, 10, 3)
+	if len(pats) != 50 {
+		t.Fatalf("got %d patterns", len(pats))
+	}
+	seen := map[string]bool{}
+	for _, p := range pats {
+		if len(p) < 1 || len(p) > 10 {
+			t.Fatalf("length %d out of range", len(p))
+		}
+		k := ""
+		for _, v := range p {
+			k += string(rune('a' + v))
+		}
+		if seen[k] {
+			t.Fatalf("duplicate pattern %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestDictionaryInfeasiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Dictionary(1, 10, 1, 2, 1) // only 2 distinct unary strings of len <= 2
+}
+
+func TestEqualLengthDictionary(t *testing.T) {
+	pats := EqualLengthDictionary(5, 20, 8, 2)
+	for _, p := range pats {
+		if len(p) != 8 {
+			t.Fatalf("length %d", len(p))
+		}
+	}
+}
+
+func TestPlantedTextContainsPlants(t *testing.T) {
+	pats := Dictionary(11, 5, 4, 6, 4)
+	text := PlantedText(13, 10000, 4, pats, 50)
+	found := 0
+	for j := 0; j+6 <= len(text); j++ {
+		for _, p := range pats {
+			ok := len(p) <= len(text)-j
+			for t2 := 0; ok && t2 < len(p); t2++ {
+				if text[j+t2] != p[t2] {
+					ok = false
+				}
+			}
+			if ok {
+				found++
+				break
+			}
+		}
+	}
+	if found < 100 {
+		t.Fatalf("only %d occurrences found; planting failed", found)
+	}
+}
+
+func TestMarkovText(t *testing.T) {
+	text := MarkovText(17, 10000, 4, 0.9)
+	runs := 0
+	for i := 1; i < len(text); i++ {
+		if text[i] == text[i-1] {
+			runs++
+		}
+	}
+	if runs < 5000 {
+		t.Fatalf("expected long runs with q=0.9, got %d repeats", runs)
+	}
+}
+
+func TestNestedDictionary(t *testing.T) {
+	pats := NestedDictionary(4)
+	for i, p := range pats {
+		if len(p) != i+1 {
+			t.Fatalf("pattern %d has length %d", i, len(p))
+		}
+		for _, v := range p {
+			if v != 0 {
+				t.Fatal("nested patterns must be unary")
+			}
+		}
+	}
+}
+
+func TestPeriodicText(t *testing.T) {
+	text := PeriodicText(7, []int32{1, 2, 3})
+	want := []int32{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if text[i] != want[i] {
+			t.Fatalf("got %v", text)
+		}
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid(19, 8, 13, 4, 0.5)
+	if len(g) != 8 || len(g[0]) != 13 {
+		t.Fatal("wrong shape")
+	}
+	for _, row := range g {
+		for _, v := range row {
+			if v < 0 || v >= 4 {
+				t.Fatalf("symbol %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestSquarePatterns(t *testing.T) {
+	ps := SquarePatterns(23, 6, 4, 2)
+	if len(ps) != 6 {
+		t.Fatalf("got %d", len(ps))
+	}
+	for _, p := range ps {
+		if len(p) != 4 || len(p[0]) != 4 {
+			t.Fatal("wrong shape")
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	s := []int32{104, 105, 33}
+	if string(Bytes(s)) != "hi!" {
+		t.Fatal("bytes conversion")
+	}
+	back := FromBytes([]byte("hi!"))
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatal("roundtrip")
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package pardict
+
+import (
+	"fmt"
+
+	"pardict/internal/alpha"
+	"pardict/internal/core"
+	"pardict/internal/multimatch"
+	"pardict/internal/smallalpha"
+	"pardict/internal/trie"
+)
+
+// Matcher is a preprocessed static dictionary. It is immutable and safe for
+// concurrent Match calls.
+type Matcher struct {
+	cfg      *config
+	enc      *alpha.Encoder
+	engine   Engine
+	patterns [][]byte
+	encoded  [][]int32
+	maxLen   int
+	total    int
+
+	general *core.Dict
+	small   *smallalpha.Matcher
+	binary  *smallalpha.BinaryMatcher
+	equal   *multimatch.Matcher
+
+	// Proper-prefix chain for all-matches expansion: nextShorter[p] = the
+	// longest pattern that is a proper prefix of pattern p, or -1.
+	nextShorter []int32
+
+	buildStats Stats
+}
+
+// NewMatcher preprocesses the dictionary (Theorem 3: O(M) work, O(log m)
+// depth). Patterns must be non-empty and distinct.
+func NewMatcher(patterns [][]byte, opts ...Option) (*Matcher, error) {
+	cfg := buildConfig(opts)
+	enc, err := cfg.encoder()
+	if err != nil {
+		return nil, err
+	}
+	m := &Matcher{cfg: cfg, enc: enc, engine: cfg.engine}
+	m.patterns = make([][]byte, len(patterns))
+	m.encoded = make([][]int32, len(patterns))
+	equalLen := true
+	for i, p := range patterns {
+		if len(p) == 0 {
+			return nil, core.ErrEmptyPattern
+		}
+		m.patterns[i] = append([]byte(nil), p...)
+		e, err := enc.EncodePattern(p)
+		if err != nil {
+			return nil, err
+		}
+		m.encoded[i] = e
+		if len(p) > m.maxLen {
+			m.maxLen = len(p)
+		}
+		m.total += len(p)
+		if len(p) != len(patterns[0]) {
+			equalLen = false
+		}
+	}
+
+	if m.engine == EngineAuto {
+		if equalLen && len(patterns) > 0 {
+			m.engine = EngineEqualLength
+		} else {
+			m.engine = EngineGeneral
+		}
+	}
+
+	ctx := cfg.newCtx()
+	switch m.engine {
+	case EngineGeneral:
+		m.general, err = core.Preprocess(ctx, m.encoded)
+	case EngineSmallAlphabet:
+		l := cfg.collapse
+		if cfg.binary {
+			bits := alpha.BitsFor(enc.Size())
+			if l == 0 {
+				l = autoCollapseBinary(m.maxLen, bits)
+			}
+			m.binary, err = smallalpha.NewBinary(ctx, m.encoded, enc.Size(), l)
+		} else {
+			if l == 0 {
+				l = autoCollapse(m.maxLen, enc.Size())
+			}
+			m.small, err = smallalpha.New(ctx, m.encoded, enc.Size(), l)
+		}
+	case EngineEqualLength:
+		if !equalLen {
+			return nil, multimatch.ErrUnequalLengths
+		}
+		m.equal, err = multimatch.New(ctx, m.encoded)
+		if err == nil {
+			err = rejectDuplicates(m.encoded)
+		}
+	default:
+		err = fmt.Errorf("pardict: unknown engine %v", m.engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := m.buildChain(); err != nil {
+		return nil, err
+	}
+	m.buildStats = statsOf(ctx)
+	return m, nil
+}
+
+// rejectDuplicates enforces pattern distinctness for engines that would
+// otherwise silently collapse duplicates.
+func rejectDuplicates(encoded [][]int32) error {
+	seen := map[string]int{}
+	for i, p := range encoded {
+		b := make([]byte, 4*len(p))
+		for k, v := range p {
+			b[4*k], b[4*k+1], b[4*k+2], b[4*k+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		}
+		if prev, ok := seen[string(b)]; ok {
+			return &core.DuplicateError{First: prev, Second: i}
+		}
+		seen[string(b)] = i
+	}
+	return nil
+}
+
+// buildChain computes the proper-prefix pattern chain with a trie.
+func (m *Matcher) buildChain() error {
+	tr := trie.New()
+	ends := make([]int32, len(m.encoded))
+	for i, p := range m.encoded {
+		node, _ := tr.Insert(p)
+		if !tr.Mark(node, int32(i)) {
+			return &core.DuplicateError{First: int(tr.PatternAt(node)), Second: i}
+		}
+		ends[i] = node
+	}
+	nma := tr.ComputeNMA()
+	m.nextShorter = make([]int32, len(m.encoded))
+	for i, node := range ends {
+		parent := tr.Parent(node)
+		if parent == trie.None {
+			m.nextShorter[i] = -1
+			continue
+		}
+		if up := nma[parent]; up != trie.None {
+			m.nextShorter[i] = tr.PatternAt(up)
+		} else {
+			m.nextShorter[i] = -1
+		}
+	}
+	return nil
+}
+
+// Engine reports the engine actually in use.
+func (m *Matcher) Engine() Engine { return m.engine }
+
+// PatternCount reports the number of patterns.
+func (m *Matcher) PatternCount() int { return len(m.patterns) }
+
+// Pattern returns pattern i.
+func (m *Matcher) Pattern(i int) []byte { return m.patterns[i] }
+
+// MaxLen reports m, the longest pattern length.
+func (m *Matcher) MaxLen() int { return m.maxLen }
+
+// Size reports M, the total pattern size.
+func (m *Matcher) Size() int { return m.total }
+
+// BuildStats reports the instrumented preprocessing cost.
+func (m *Matcher) BuildStats() Stats { return m.buildStats }
+
+// Matches is the per-position result of one Match call.
+type Matches struct {
+	m     *Matcher
+	pat   []int32
+	plen  []int32 // longest dictionary-prefix length (general engine only)
+	stats Stats
+}
+
+// Match scans text and reports, per position, the longest pattern starting
+// there (Theorem 1/3 matching: O(n·log m) work — or the engine's improved
+// bound — at O(log m) depth).
+func (m *Matcher) Match(text []byte) *Matches {
+	ctx := m.cfg.newCtx()
+	enc := m.enc.Encode(text)
+	out := &Matches{m: m}
+	switch m.engine {
+	case EngineGeneral:
+		r := m.general.Match(ctx, enc)
+		out.pat, out.plen = r.Pat, r.Len
+	case EngineSmallAlphabet:
+		if m.binary != nil {
+			out.pat = m.binary.Match(ctx, enc)
+		} else {
+			out.pat = m.small.Match(ctx, enc)
+		}
+	case EngineEqualLength:
+		out.pat = m.equal.Match(ctx, enc)
+	}
+	out.stats = statsOf(ctx)
+	return out
+}
+
+// Len reports the text length the matches cover.
+func (r *Matches) Len() int { return len(r.pat) }
+
+// Longest returns the index of the longest pattern starting at position i,
+// and whether any pattern matches there.
+func (r *Matches) Longest(i int) (int, bool) {
+	p := r.pat[i]
+	return int(p), p >= 0
+}
+
+// All appends to dst the indices of every pattern starting at position i,
+// longest first (output-sensitive; see §2 of the paper on output formats).
+func (r *Matches) All(i int, dst []int) []int {
+	for p := r.pat[i]; p >= 0; p = r.m.nextShorter[p] {
+		dst = append(dst, int(p))
+	}
+	return dst
+}
+
+// Count returns the number of positions with at least one match.
+func (r *Matches) Count() int {
+	n := 0
+	for _, p := range r.pat {
+		if p >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// PrefixLen reports the length of the longest dictionary prefix starting at
+// position i — the Step 1 prefix-matching output (Theorem 1). It is
+// available on the general engine; other engines report ok = false.
+func (r *Matches) PrefixLen(i int) (int, bool) {
+	if r.plen == nil {
+		return 0, false
+	}
+	return int(r.plen[i]), true
+}
+
+// Stats reports the instrumented cost of the Match call that produced r.
+func (r *Matches) Stats() Stats { return r.stats }
+
+// Occurrence is one pattern occurrence reported by FindAll.
+type Occurrence struct {
+	Pos     int // text position where the pattern starts
+	Pattern int // pattern index
+}
+
+// FindAll returns every occurrence of every pattern in text, ordered by
+// position and, within a position, by decreasing pattern length. The slice
+// is output-sensitive (§2's all-matches format).
+func (m *Matcher) FindAll(text []byte) []Occurrence {
+	r := m.Match(text)
+	var out []Occurrence
+	var buf []int
+	for i := 0; i < r.Len(); i++ {
+		buf = r.All(i, buf[:0])
+		for _, p := range buf {
+			out = append(out, Occurrence{Pos: i, Pattern: p})
+		}
+	}
+	return out
+}
+
+// Contains reports whether any pattern occurs in text.
+func (m *Matcher) Contains(text []byte) bool {
+	r := m.Match(text)
+	for _, p := range r.pat {
+		if p >= 0 {
+			return true
+		}
+	}
+	return false
+}

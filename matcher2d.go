@@ -1,0 +1,159 @@
+package pardict
+
+import (
+	"pardict/internal/alpha"
+	"pardict/internal/dict2d"
+	"pardict/internal/dict3d"
+)
+
+// Matcher2D is a preprocessed dictionary of square byte patterns of possibly
+// different sides (§5, Theorem 6). Immutable; safe for concurrent Match2D.
+type Matcher2D struct {
+	cfg *config
+	enc *alpha.Encoder
+	d   *dict2d.Dict
+	np  int
+}
+
+// NewMatcher2D preprocesses square patterns (each [][]byte must be s rows of
+// s bytes) in O(M) work.
+func NewMatcher2D(patterns [][][]byte, opts ...Option) (*Matcher2D, error) {
+	cfg := buildConfig(opts)
+	enc, err := cfg.encoder()
+	if err != nil {
+		return nil, err
+	}
+	encoded := make([][][]int32, len(patterns))
+	for i, p := range patterns {
+		encoded[i] = make([][]int32, len(p))
+		for r, row := range p {
+			e, err := enc.EncodePattern(row)
+			if err != nil {
+				return nil, err
+			}
+			encoded[i][r] = e
+		}
+	}
+	d, err := dict2d.Preprocess(cfg.newCtx(), encoded)
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher2D{cfg: cfg, enc: enc, d: d, np: len(patterns)}, nil
+}
+
+// PatternCount reports the number of patterns.
+func (m *Matcher2D) PatternCount() int { return m.np }
+
+// MaxSide reports the largest pattern side.
+func (m *Matcher2D) MaxSide() int { return m.d.MaxSide() }
+
+// Matches2D is the per-cell result of Match2D.
+type Matches2D struct {
+	m     *Matcher2D
+	r2d   *dict2d.Result
+	pat   [][]int32
+	side  [][]int32
+	stats Stats
+}
+
+// Match2D scans a rectangular text (rows of equal length) and reports, per
+// cell, the largest pattern whose top-left corner matches there
+// (Theorem 6: O(n·log m) work, O(log m) depth).
+func (m *Matcher2D) Match2D(text [][]byte) (*Matches2D, error) {
+	ctx := m.cfg.newCtx()
+	enc := make([][]int32, len(text))
+	for i, row := range text {
+		enc[i] = m.enc.Encode(row)
+	}
+	r, err := m.d.Match(ctx, enc)
+	if err != nil {
+		return nil, err
+	}
+	return &Matches2D{m: m, r2d: r, pat: r.Pat, side: r.Side, stats: statsOf(ctx)}, nil
+}
+
+// Largest returns the index of the largest pattern cornered at (i, j) and
+// whether any matches.
+func (r *Matches2D) Largest(i, j int) (int, bool) {
+	p := r.pat[i][j]
+	return int(p), p >= 0
+}
+
+// PrefixSide reports the side of the largest dictionary square-prefix
+// cornered at (i, j) — the 2-D prefix-matching output.
+func (r *Matches2D) PrefixSide(i, j int) int { return int(r.side[i][j]) }
+
+// All appends to dst the indices of every pattern cornered at (i, j),
+// largest side first (output-sensitive all-matches expansion).
+func (r *Matches2D) All(i, j int, dst []int) []int {
+	var buf []int32
+	buf = r.m.d.AllMatches(r.r2d, i, j, buf)
+	for _, p := range buf {
+		dst = append(dst, int(p))
+	}
+	return dst
+}
+
+// Stats reports the instrumented cost of the call.
+func (r *Matches2D) Stats() Stats { return r.stats }
+
+// Matcher3D matches a dictionary of cube patterns of (possibly) different
+// sides — the d = 3 instance of the paper's fixed-d claim (package dict3d).
+type Matcher3D struct {
+	cfg *config
+	enc *alpha.Encoder
+	d   *dict3d.Dict
+}
+
+// NewMatcher3D preprocesses cube patterns (pattern[z][y][x]; each must be an
+// s×s×s cube, sides may differ across patterns) in O(M) work.
+func NewMatcher3D(patterns [][][][]byte, opts ...Option) (*Matcher3D, error) {
+	cfg := buildConfig(opts)
+	enc, err := cfg.encoder()
+	if err != nil {
+		return nil, err
+	}
+	encoded := make([][][][]int32, len(patterns))
+	for i, p := range patterns {
+		encoded[i] = make([][][]int32, len(p))
+		for z, slice := range p {
+			encoded[i][z] = make([][]int32, len(slice))
+			for y, row := range slice {
+				e, err := enc.EncodePattern(row)
+				if err != nil {
+					return nil, err
+				}
+				encoded[i][z][y] = e
+			}
+		}
+	}
+	d, err := dict3d.Preprocess(cfg.newCtx(), encoded)
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher3D{cfg: cfg, enc: enc, d: d}, nil
+}
+
+// MaxSide reports the largest pattern side.
+func (m *Matcher3D) MaxSide() int { return m.d.MaxSide() }
+
+// PatternCount reports the number of patterns.
+func (m *Matcher3D) PatternCount() int { return m.d.PatternCount() }
+
+// Match3D scans a box-shaped text and returns, per cell, the index of the
+// largest pattern whose corner matches there, or -1 (Theorem 6 extended to
+// d = 3: O(n·log m) work).
+func (m *Matcher3D) Match3D(text [][][]byte) ([][][]int32, error) {
+	enc := make([][][]int32, len(text))
+	for z, slice := range text {
+		enc[z] = make([][]int32, len(slice))
+		for y, row := range slice {
+			enc[z][y] = m.enc.Encode(row)
+		}
+	}
+	r, err := m.d.Match(m.cfg.newCtx(), enc)
+	if err != nil {
+		return nil, err
+	}
+	return r.Pat, nil
+}

@@ -1,0 +1,164 @@
+// Package pardict is a parallel dictionary-matching library: it finds, for
+// every position of a text, the dictionary patterns that begin there.
+//
+// It implements the shrink-and-spawn algorithms of S. Muthukrishnan and
+// K. Palem, "Highly Efficient Dictionary Matching in Parallel" (SPAA 1993):
+//
+//   - Matcher: static dictionary matching in O(M) preprocessing work and
+//     O(n·log m) matching work at O(log m) parallel depth, where m is the
+//     longest pattern — costs never depend on the total dictionary size M
+//     beyond the linear preprocessing (Theorems 1–3);
+//   - the small-alphabet engine (Theorem 4): O(n·log m / L) matching work for
+//     a collapse parameter L, profitable for DNA- or binary-like alphabets;
+//   - the equal-length engine (Theorem 11): optimal O(n + M) total work when
+//     all patterns have one length;
+//   - DynamicMatcher: insertions and deletions in O(λ·log M) (amortized for
+//     deletes) with matching always against the live dictionary
+//     (Theorems 7–10);
+//   - Matcher2D / Matcher3D: square (cube) pattern dictionaries in
+//     O(n·log m) matching work (Theorem 6 and the §7 reduction).
+//
+// All engines execute as bulk-parallel phases on a goroutine pool and report
+// instrumented Stats (PRAM work and depth) so the paper's bounds can be
+// checked empirically; see EXPERIMENTS.md in the repository.
+package pardict
+
+import (
+	"fmt"
+	"math"
+
+	"pardict/internal/alpha"
+	"pardict/internal/pram"
+)
+
+// Engine selects the matching algorithm for a Matcher.
+type Engine int
+
+const (
+	// EngineAuto picks EngineEqualLength when every pattern has the same
+	// length, and EngineGeneral otherwise.
+	EngineAuto Engine = iota
+	// EngineGeneral is the §4 shrink-and-spawn engine (Theorems 1–3).
+	EngineGeneral
+	// EngineSmallAlphabet is the §4.4 engine (Theorem 4); it requires a
+	// dense alphabet (WithAlphabet) and benefits from WithCollapse.
+	EngineSmallAlphabet
+	// EngineEqualLength is the §7 work-optimal engine (Theorem 11); it
+	// requires all patterns to share one length.
+	EngineEqualLength
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineGeneral:
+		return "general"
+	case EngineSmallAlphabet:
+		return "smallalpha"
+	case EngineEqualLength:
+		return "equallength"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Stats reports the instrumented cost of one operation in PRAM terms:
+// Work is the number of element operations executed across all parallel
+// phases; Depth is the number of dependent phases (parallel time up to
+// constants). Procs is the goroutine-pool width used.
+type Stats struct {
+	Work  int64
+	Depth int64
+	Procs int
+}
+
+type config struct {
+	procs    int
+	engine   Engine
+	sigma    []byte // dense alphabet; nil = raw bytes (σ = 256)
+	collapse int    // L for the small-alphabet engine; 0 = auto
+	binary   bool   // Theorem 5: re-encode symbols in binary first
+}
+
+// Option configures matcher construction.
+type Option func(*config)
+
+// WithParallelism bounds the goroutine pool (default GOMAXPROCS).
+func WithParallelism(procs int) Option {
+	return func(c *config) { c.procs = procs }
+}
+
+// WithEngine forces a specific engine.
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.engine = e }
+}
+
+// WithAlphabet declares the byte alphabet patterns and text are drawn from,
+// enabling the small-alphabet engine and dense symbol encoding. Text bytes
+// outside the alphabet never match.
+func WithAlphabet(sigma []byte) Option {
+	return func(c *config) { c.sigma = append([]byte(nil), sigma...) }
+}
+
+// WithCollapse sets the §4.4 collapse parameter L (text-side work becomes
+// O(n·log m / L) at the price of O(M·σ·L) preprocessing). Zero picks
+// L ≈ √(log₂ m / σ) as in Corollary 1.
+func WithCollapse(l int) Option {
+	return func(c *config) { c.collapse = l }
+}
+
+// WithBinaryExpansion applies the Theorem 5 transformation to the
+// small-alphabet engine: symbols are re-encoded as ⌈log₂ σ⌉-bit codes so the
+// alphabet-dependent preprocessing cost depends on log σ instead of σ
+// (dictionary O(M·L·log σ); text O(n·log m / L + n·log σ)). Only meaningful
+// with EngineSmallAlphabet; WithCollapse then counts bits.
+func WithBinaryExpansion() Option {
+	return func(c *config) { c.binary = true }
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *config) newCtx() *pram.Ctx { return pram.New(c.procs) }
+
+func (c *config) encoder() (*alpha.Encoder, error) {
+	if c.sigma == nil {
+		return alpha.NewByteEncoder(), nil
+	}
+	return alpha.NewDenseEncoder(c.sigma)
+}
+
+// autoCollapseBinary picks L = log₂ m / log₂ σ, the setting the paper uses
+// after Theorem 5 to get O(n·log σ + M·log m).
+func autoCollapseBinary(maxLen, bits int) int {
+	if maxLen < 2 || bits < 1 {
+		return 1
+	}
+	l := int(math.Log2(float64(maxLen))) / bits
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// autoCollapse picks L per Corollary 1.
+func autoCollapse(maxLen, sigma int) int {
+	if maxLen < 2 || sigma < 1 {
+		return 1
+	}
+	l := int(math.Round(math.Sqrt(math.Log2(float64(maxLen)) / float64(sigma))))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func statsOf(ctx *pram.Ctx) Stats {
+	return Stats{Work: ctx.Work(), Depth: ctx.Depth(), Procs: ctx.Procs()}
+}

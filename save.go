@@ -1,0 +1,142 @@
+package pardict
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pardict/internal/core"
+)
+
+// ErrSaveUnsupported reports an attempt to Save a matcher whose engine does
+// not support serialization (only the general engine ships compiled tables;
+// other engines rebuild faster than they would load).
+var ErrSaveUnsupported = errors.New("pardict: only the general engine supports Save")
+
+const (
+	matcherMagic   = 0x70644D31 // "pdM1"
+	matcherVersion = 1
+)
+
+// Save writes a compiled form of the matcher to w. Only general-engine
+// matchers are serializable; see LoadMatcher.
+func (m *Matcher) Save(w io.Writer) error {
+	if m.engine != EngineGeneral || m.general == nil {
+		return ErrSaveUnsupported
+	}
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{matcherMagic, matcherVersion} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	// Alphabet (length-prefixed; 0 means raw bytes).
+	sig := m.cfg.sigma
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(sig))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(sig); err != nil {
+		return err
+	}
+	// Raw patterns (needed for Pattern() and the all-matches chain).
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.patterns))); err != nil {
+		return err
+	}
+	for _, p := range m.patterns {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(p); err != nil {
+			return err
+		}
+	}
+	if _, err := m.general.Save(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadMatcher reads a matcher written by Save. Options affecting execution
+// (WithParallelism) apply; engine/alphabet come from the stream.
+func LoadMatcher(r io.Reader, opts ...Option) (*Matcher, error) {
+	cfg := buildConfig(opts)
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("pardict: load: %w", err)
+	}
+	if magic != matcherMagic {
+		return nil, fmt.Errorf("pardict: load: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("pardict: load: %w", err)
+	}
+	if version != matcherVersion {
+		return nil, fmt.Errorf("pardict: load: unsupported version %d", version)
+	}
+	var sigLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &sigLen); err != nil {
+		return nil, fmt.Errorf("pardict: load: %w", err)
+	}
+	if sigLen > 256 {
+		return nil, fmt.Errorf("pardict: load: implausible alphabet size %d", sigLen)
+	}
+	if sigLen > 0 {
+		sig := make([]byte, sigLen)
+		if _, err := io.ReadFull(br, sig); err != nil {
+			return nil, fmt.Errorf("pardict: load: %w", err)
+		}
+		cfg.sigma = sig
+	}
+	enc, err := cfg.encoder()
+	if err != nil {
+		return nil, err
+	}
+
+	var np uint32
+	if err := binary.Read(br, binary.LittleEndian, &np); err != nil {
+		return nil, fmt.Errorf("pardict: load: %w", err)
+	}
+	if np > 1<<28 {
+		return nil, fmt.Errorf("pardict: load: implausible pattern count %d", np)
+	}
+	m := &Matcher{cfg: cfg, enc: enc, engine: EngineGeneral}
+	m.patterns = make([][]byte, np)
+	m.encoded = make([][]int32, np)
+	for i := range m.patterns {
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("pardict: load: %w", err)
+		}
+		if l > 1<<28 {
+			return nil, fmt.Errorf("pardict: load: implausible pattern length %d", l)
+		}
+		p := make([]byte, l)
+		if _, err := io.ReadFull(br, p); err != nil {
+			return nil, fmt.Errorf("pardict: load: %w", err)
+		}
+		m.patterns[i] = p
+		e, err := enc.EncodePattern(p)
+		if err != nil {
+			return nil, err
+		}
+		m.encoded[i] = e
+		if len(p) > m.maxLen {
+			m.maxLen = len(p)
+		}
+		m.total += len(p)
+	}
+
+	ctx := cfg.newCtx()
+	m.general, err = core.Load(ctx, br)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.buildChain(); err != nil {
+		return nil, err
+	}
+	m.buildStats = statsOf(ctx)
+	return m, nil
+}

@@ -1,0 +1,137 @@
+package pardict
+
+import (
+	"bytes"
+	"testing"
+
+	"pardict/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ip := workload.Dictionary(17, 64, 1, 40, 6)
+	pats := make([][]byte, len(ip))
+	for i, p := range ip {
+		for j := range p {
+			p[j] += 'a'
+		}
+		pats[i] = workload.Bytes(p)
+	}
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMatcher(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.PatternCount() != m.PatternCount() || loaded.MaxLen() != m.MaxLen() ||
+		loaded.Size() != m.Size() || loaded.Engine() != EngineGeneral {
+		t.Fatal("metadata mismatch after load")
+	}
+	for i := 0; i < m.PatternCount(); i++ {
+		if string(loaded.Pattern(i)) != string(m.Pattern(i)) {
+			t.Fatalf("pattern %d mismatch", i)
+		}
+	}
+	text := workload.Bytes(workload.PlantedText(18, 20000, 6, ip, 30))
+	for j := range text {
+		if text[j] < 'a' {
+			text[j] += 'a'
+		}
+	}
+	r1, r2 := m.Match(text), loaded.Match(text)
+	for j := range text {
+		p1, ok1 := r1.Longest(j)
+		p2, ok2 := r2.Longest(j)
+		if p1 != p2 || ok1 != ok2 {
+			t.Fatalf("pos %d: original %d,%v loaded %d,%v", j, p1, ok1, p2, ok2)
+		}
+		a1, a2 := r1.All(j, nil), r2.All(j, nil)
+		if len(a1) != len(a2) {
+			t.Fatalf("pos %d: all-matches diverge", j)
+		}
+	}
+}
+
+func TestSaveLoadWithAlphabet(t *testing.T) {
+	pats := [][]byte{[]byte("acgt"), []byte("gat")}
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral), WithAlphabet([]byte("acgt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMatcher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := loaded.Match([]byte("xgatx"))
+	if p, ok := r.Longest(1); !ok || p != 1 {
+		t.Fatalf("loaded matcher broken: %d %v", p, ok)
+	}
+}
+
+func TestSaveUnsupportedEngines(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("ab"), []byte("cd")}) // equal-length auto
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&bytes.Buffer{}); err != ErrSaveUnsupported {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a matcher"),
+		{0x31, 0x4D, 0x64, 0x70, 0xFF, 0xFF, 0xFF, 0xFF}, // right magic, bad version
+	}
+	for i, b := range cases {
+		if _, err := LoadMatcher(bytes.NewReader(b)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("hello"), []byte("world!")}, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := LoadMatcher(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSaveLoadEmptyDictionary(t *testing.T) {
+	m, err := NewMatcher(nil, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMatcher(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := loaded.Match([]byte("anything"))
+	if r.Count() != 0 {
+		t.Fatal("empty dictionary matched")
+	}
+}

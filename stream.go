@@ -1,0 +1,108 @@
+package pardict
+
+import (
+	"io"
+)
+
+// StreamMatcher scans an unbounded input incrementally: feed it chunks of
+// any size and it emits each finalized match exactly once, with absolute
+// stream offsets. A position's longest match is determined by the next
+// MaxLen bytes, so the matcher holds back the trailing MaxLen−1 bytes of
+// what it has seen until more input (or Close) arrives.
+//
+// A StreamMatcher is single-stream state; use one per stream (the underlying
+// Matcher is shared and immutable). Not safe for concurrent use.
+type StreamMatcher struct {
+	m      *Matcher
+	emit   func(pos int64, pattern int)
+	carry  []byte
+	offset int64 // absolute stream offset of carry[0]
+	closed bool
+}
+
+// Stream returns a new streaming scanner over m's dictionary. Matches are
+// reported to emit as (absolute start offset, pattern index), in increasing
+// offset order; emit receives only the longest pattern per position (use
+// Matcher.All on a block-level Matches if the full set is needed).
+func (m *Matcher) Stream(emit func(pos int64, pattern int)) *StreamMatcher {
+	return &StreamMatcher{m: m, emit: emit}
+}
+
+// Feed appends chunk to the stream and emits every match that is now final.
+// It may be called with chunks of any size, including empty.
+func (s *StreamMatcher) Feed(chunk []byte) error {
+	if s.closed {
+		return io.ErrClosedPipe
+	}
+	s.carry = append(s.carry, chunk...)
+	hold := s.m.MaxLen() - 1
+	if len(s.carry) <= hold {
+		return nil
+	}
+	final := len(s.carry) - hold // positions [0, final) are finalized
+	r := s.m.Match(s.carry)
+	for j := 0; j < final; j++ {
+		if p, ok := r.Longest(j); ok {
+			s.emit(s.offset+int64(j), p)
+		}
+	}
+	s.offset += int64(final)
+	s.carry = append(s.carry[:0], s.carry[final:]...)
+	return nil
+}
+
+// Close flushes the held-back tail, emitting its matches, and invalidates
+// the stream.
+func (s *StreamMatcher) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if len(s.carry) == 0 {
+		return nil
+	}
+	r := s.m.Match(s.carry)
+	for j := 0; j < r.Len(); j++ {
+		if p, ok := r.Longest(j); ok {
+			s.emit(s.offset+int64(j), p)
+		}
+	}
+	s.offset += int64(len(s.carry))
+	s.carry = nil
+	return nil
+}
+
+// Offset reports the absolute offset of the next unfinalized position.
+func (s *StreamMatcher) Offset() int64 { return s.offset }
+
+// Pending reports how many bytes are currently held back awaiting
+// finalization.
+func (s *StreamMatcher) Pending() int { return len(s.carry) }
+
+// MatchReader scans everything from r in blocks of blockSize (≤ 0 selects a
+// default sized well above MaxLen) and emits each match once. It is the
+// io.Reader convenience over Stream.
+func (m *Matcher) MatchReader(r io.Reader, blockSize int, emit func(pos int64, pattern int)) error {
+	if blockSize <= 0 {
+		blockSize = 1 << 16
+	}
+	if blockSize < m.MaxLen() {
+		blockSize = m.MaxLen()
+	}
+	s := m.Stream(emit)
+	buf := make([]byte, blockSize)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if ferr := s.Feed(buf[:n]); ferr != nil {
+				return ferr
+			}
+		}
+		if err == io.EOF {
+			return s.Close()
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package pardict
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"pardict/internal/workload"
+)
+
+type hit struct {
+	pos int64
+	pat int
+}
+
+func collectStream(t *testing.T, m *Matcher, text []byte, chunks []int) []hit {
+	t.Helper()
+	var got []hit
+	s := m.Stream(func(pos int64, pat int) { got = append(got, hit{pos, pat}) })
+	at := 0
+	for _, c := range chunks {
+		end := at + c
+		if end > len(text) {
+			end = len(text)
+		}
+		if err := s.Feed(text[at:end]); err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+	if at < len(text) {
+		if err := s.Feed(text[at:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func wholeTextHits(m *Matcher, text []byte) []hit {
+	r := m.Match(text)
+	var want []hit
+	for j := 0; j < r.Len(); j++ {
+		if p, ok := r.Longest(j); ok {
+			want = append(want, hit{int64(j), p})
+		}
+	}
+	return want
+}
+
+func sameHits(a, b []hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStreamEqualsWholeText(t *testing.T) {
+	ip := workload.Dictionary(3, 24, 2, 24, 4)
+	pats := make([][]byte, len(ip))
+	for i, p := range ip {
+		for j := range p {
+			p[j] += 'a'
+		}
+		pats[i] = workload.Bytes(p)
+	}
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := workload.PlantedText(4, 5000, 4, ip, 40)
+	text := workload.Bytes(it)
+	want := wholeTextHits(m, text)
+	if len(want) == 0 {
+		t.Fatal("workload produced no matches; test is vacuous")
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		var chunks []int
+		rem := len(text)
+		for rem > 0 {
+			c := 1 + rng.Intn(200)
+			chunks = append(chunks, c)
+			rem -= c
+		}
+		got := collectStream(t, m, text, chunks)
+		if !sameHits(got, want) {
+			t.Fatalf("trial %d: stream %d hits, whole %d hits", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestStreamTinyChunks(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("abc"), []byte("bc"), []byte("cab")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("abcabcab")
+	want := wholeTextHits(m, text)
+	ones := make([]int, len(text))
+	for i := range ones {
+		ones[i] = 1
+	}
+	got := collectStream(t, m, text, ones)
+	if !sameHits(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestStreamEmptyFeeds(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("xy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []hit
+	s := m.Stream(func(pos int64, pat int) { got = append(got, hit{pos, pat}) })
+	if err := s.Feed(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (hit{0, 0}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestStreamMatchSpansChunkBoundary(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("boundary")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("xxboundaryxx")
+	for split := 1; split < len(text); split++ {
+		got := collectStream(t, m, text, []int{split})
+		if len(got) != 1 || got[0].pos != 2 || got[0].pat != 0 {
+			t.Fatalf("split %d: got %v", split, got)
+		}
+	}
+}
+
+func TestStreamCloseIdempotentAndFeedAfterClose(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stream(func(int64, int) {})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Feed([]byte("a")); err != io.ErrClosedPipe {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamOffsetAndPending(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("abcd")}) // MaxLen 4 => hold 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stream(func(int64, int) {})
+	if err := s.Feed([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Offset() != 7 || s.Pending() != 3 {
+		t.Fatalf("offset=%d pending=%d", s.Offset(), s.Pending())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Offset() != 10 || s.Pending() != 0 {
+		t.Fatalf("after close: offset=%d pending=%d", s.Offset(), s.Pending())
+	}
+}
+
+func TestMatchReader(t *testing.T) {
+	ip := workload.Dictionary(13, 16, 1, 16, 4)
+	pats := make([][]byte, len(ip))
+	for i, p := range ip {
+		for j := range p {
+			p[j] += '0'
+		}
+		pats[i] = workload.Bytes(p)
+	}
+	m, err := NewMatcher(pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := workload.PlantedText(14, 20000, 4, ip, 30)
+	text := workload.Bytes(it)
+	want := wholeTextHits(m, text)
+
+	for _, bs := range []int{0, 17, 100, 1 << 14} {
+		var got []hit
+		err := m.MatchReader(bytes.NewReader(text), bs,
+			func(pos int64, pat int) { got = append(got, hit{pos, pat}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameHits(got, want) {
+			t.Fatalf("blockSize %d: %d hits, want %d", bs, len(got), len(want))
+		}
+	}
+}
+
+func TestMatchReaderPropagatesError(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := &failingReader{after: 3}
+	err = m.MatchReader(boom, 2, func(int64, int) {})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type failingReader struct{ after int }
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.after <= 0 {
+		return 0, errBoom{}
+	}
+	n := min(r.after, len(p))
+	for i := 0; i < n; i++ {
+		p[i] = 'a'
+	}
+	r.after -= n
+	return n, nil
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
