@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pardict/internal/pram"
+)
+
+var schedOut = flag.String("schedout", "BENCH_scheduler.json",
+	"where E13 writes its scheduler comparison (empty = don't write)")
+
+// schedPoint is one (procs, n) cell of the E13 comparison.
+type schedPoint struct {
+	Procs           int     `json:"procs"`
+	N               int     `json:"n"`
+	Phases          int     `json:"phases"`
+	SpawnNsPerPhase float64 `json:"spawn_ns_per_phase"`
+	PoolNsPerPhase  float64 `json:"pool_ns_per_phase"`
+	Speedup         float64 `json:"speedup"` // spawn / pool; > 1 means pool wins
+}
+
+type schedReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Quick      bool         `json:"quick"`
+	Points     []schedPoint `json:"points"`
+}
+
+// e13: the executor ablation behind the persistent pool — per-phase cost of
+// spawning a fresh goroutine set (the historic executor, kept as
+// pram.SpawnForChunk) vs waking the parked workers of a persistent
+// work-stealing pool. The paper's algorithms are cascades of O(log m) short
+// dependent phases, so per-phase overhead multiplies directly into match
+// latency.
+func e13() {
+	header("E13", "Scheduler: spawn-per-phase vs persistent work-stealing pool (per-phase ns)")
+	report := schedReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Quick: *quick}
+	fmt.Printf("%6s %10s %8s %14s %14s %9s\n",
+		"procs", "n", "phases", "spawn ns/ph", "pool ns/ph", "speedup")
+	for _, procs := range []int{4, 8} {
+		pool := pram.NewPool(procs)
+		for _, n := range []int{256, 1024, 4096, 1 << 16, 1 << 20} {
+			if *quick && n > 1<<16 {
+				continue
+			}
+			phases := scale(1<<22, 1<<19) / n
+			if phases < 8 {
+				phases = 8
+			}
+			xs := make([]int64, n)
+			body := func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					xs[i]++
+				}
+			}
+
+			spawnNs := bestOf(3, func() time.Duration {
+				t0 := time.Now()
+				for ph := 0; ph < phases; ph++ {
+					pram.SpawnForChunk(procs, n, body)
+				}
+				return time.Since(t0)
+			})
+
+			c := pram.NewCtx(nil, pool)
+			poolNs := bestOf(3, func() time.Duration {
+				t0 := time.Now()
+				for ph := 0; ph < phases; ph++ {
+					c.ForChunk(n, body)
+				}
+				return time.Since(t0)
+			})
+
+			p := schedPoint{
+				Procs:           procs,
+				N:               n,
+				Phases:          phases,
+				SpawnNsPerPhase: float64(spawnNs.Nanoseconds()) / float64(phases),
+				PoolNsPerPhase:  float64(poolNs.Nanoseconds()) / float64(phases),
+			}
+			p.Speedup = p.SpawnNsPerPhase / p.PoolNsPerPhase
+			report.Points = append(report.Points, p)
+			row("%6d %10d %8d %14.0f %14.0f %8.2fx",
+				p.Procs, p.N, p.Phases, p.SpawnNsPerPhase, p.PoolNsPerPhase, p.Speedup)
+		}
+		pool.Close()
+	}
+	fmt.Println("shape check: pool ns/phase below spawn on short phases (n ≤ 4096); parity on long.")
+	if *schedOut == "" {
+		return
+	}
+	f, err := os.Create(*schedOut)
+	check(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(report))
+	check(f.Close())
+	fmt.Printf("wrote %s\n", *schedOut)
+}
+
+// bestOf returns the minimum duration over reps runs of f (minimum, not mean:
+// scheduler-noise outliers only ever add time).
+func bestOf(reps int, f func() time.Duration) time.Duration {
+	best := f()
+	for r := 1; r < reps; r++ {
+		if d := f(); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -5,11 +5,16 @@
 //
 //	POST /scan            body = text; response = JSON match list
 //	POST /scan?mode=count body = text; response = {"count": N}
+//	POST /scanbatch       body = {"texts": [...]}; scans pipelined in one call
 //	GET  /healthz         liveness + dictionary metadata
+//
+// Scans honor request cancellation (a disconnected client aborts its match
+// within one parallel phase) and the -timeout per-request deadline (exceeding
+// it returns 504).
 //
 // Usage:
 //
-//	dictserve -dict patterns.txt [-addr :8844] [-procs N]
+//	dictserve -dict patterns.txt [-addr :8844] [-procs N] [-timeout 30s]
 //	dictserve -load compiled.pdm
 package main
 
@@ -18,6 +23,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"pardict"
 )
@@ -31,6 +37,7 @@ func main() {
 		addr     = flag.String("addr", ":8844", "listen address")
 		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
 		maxBody  = flag.Int64("maxbody", 16<<20, "maximum scan body size in bytes")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request scan deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -38,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := newServer(m, *maxBody)
+	srv := newServer(m, *maxBody, *timeout)
 	log.Printf("serving %d patterns (m=%d, M=%d, engine=%s) on %s",
 		m.PatternCount(), m.MaxLen(), m.Size(), m.Engine(), *addr)
 	if err := http.ListenAndServe(*addr, srv); err != nil {

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"pardict"
 )
@@ -15,18 +18,41 @@ import (
 type server struct {
 	m       *pardict.Matcher
 	maxBody int64
+	timeout time.Duration // per-request matching deadline; 0 = none
 	mux     *http.ServeMux
 }
 
-func newServer(m *pardict.Matcher, maxBody int64) *server {
-	s := &server{m: m, maxBody: maxBody, mux: http.NewServeMux()}
+func newServer(m *pardict.Matcher, maxBody int64, timeout time.Duration) *server {
+	s := &server{m: m, maxBody: maxBody, timeout: timeout, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/scan", s.handleScan)
+	s.mux.HandleFunc("/scanbatch", s.handleScanBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// requestCtx derives the matching context for one request: the request's own
+// context (canceled when the client disconnects) bounded by the configured
+// per-request deadline.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// writeMatchErr maps a matching error to an HTTP response: 504 when the
+// per-request deadline expired, and a silent return when the client itself
+// went away (it cannot read a status anyway).
+func writeMatchErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		http.Error(w, "scan deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	// Client disconnect: nothing useful to write.
 }
 
 // scanMatch is one reported occurrence.
@@ -51,10 +77,27 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
 		return
 	}
-	res := s.m.Match(body)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.m.MatchContext(ctx, body)
+	if err != nil {
+		writeMatchErr(w, err)
+		return
+	}
+	out := s.collect(res, r.URL.Query().Get("mode"))
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+// collect renders one text's matches per the requested mode ("", "count",
+// or "all").
+func (s *server) collect(res *pardict.Matches, mode string) scanResponse {
 	out := scanResponse{}
-	countOnly := r.URL.Query().Get("mode") == "count"
-	all := r.URL.Query().Get("mode") == "all"
+	countOnly := mode == "count"
+	all := mode == "all"
 	var buf []int
 	for i := 0; i < res.Len(); i++ {
 		switch {
@@ -80,9 +123,49 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if countOnly {
 		out.Matches = nil
 	}
+	return out
+}
+
+// scanBatchRequest is the /scanbatch body: a list of texts to scan in one
+// call. The texts are pipelined through the matcher's shared scheduler
+// (Matcher.MatchBatch), so a batch costs less than one request per text.
+type scanBatchRequest struct {
+	Texts []string `json:"texts"`
+}
+
+type scanBatchResponse struct {
+	Results []scanResponse `json:"results"`
+}
+
+func (s *server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req scanBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad JSON body", http.StatusBadRequest)
+		return
+	}
+	texts := make([][]byte, len(req.Texts))
+	for i, t := range req.Texts {
+		texts[i] = []byte(t)
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results, err := s.m.MatchBatch(ctx, texts)
+	if err != nil {
+		writeMatchErr(w, err)
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	out := scanBatchResponse{Results: make([]scanResponse, len(results))}
+	for i, res := range results {
+		out.Results[i] = s.collect(res, mode)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
-		// Connection-level failure; nothing more to do.
 		return
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pardict"
 )
@@ -21,7 +23,7 @@ func testServer(t *testing.T) *server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(m, 1<<20)
+	return newServer(m, 1<<20, 30*time.Second)
 }
 
 func TestScanEndpoint(t *testing.T) {
@@ -91,7 +93,7 @@ func TestScanBodyLimit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(m, 8)
+	srv := newServer(m, 8, 0)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("this body is way beyond eight bytes"))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
@@ -135,6 +137,64 @@ func TestConcurrentScans(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestScanBatchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := `{"texts": ["ushers", "he", "nothing"]}`
+	req := httptest.NewRequest(http.MethodPost, "/scanbatch?mode=count", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var res scanBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("results = %d", len(res.Results))
+	}
+	if res.Results[0].Count != 2 || res.Results[1].Count != 1 || res.Results[2].Count != 0 {
+		t.Fatalf("counts = %+v", res.Results)
+	}
+}
+
+func TestScanBatchBadBody(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/scanbatch", strings.NewReader("not json"))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d", rec.Code)
+	}
+}
+
+func TestScanDeadlineReturns504(t *testing.T) {
+	m, err := pardict.NewMatcher([][]byte{[]byte("needle")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deadline that expires immediately forces the match itself to abort.
+	srv := newServer(m, 1<<20, time.Nanosecond)
+	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader(strings.Repeat("x", 1<<16)))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rec.Code)
+	}
+}
+
+func TestScanClientDisconnectWritesNothing(t *testing.T) {
+	srv := testServer(t)
+	gctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("ushers")).WithContext(gctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnected client got a body: %q", rec.Body.String())
+	}
 }
 
 func TestBuildMatcherFromFiles(t *testing.T) {

@@ -1,6 +1,8 @@
 package pardict
 
 import (
+	"context"
+
 	"pardict/internal/alpha"
 	"pardict/internal/dynamic"
 )
@@ -73,9 +75,21 @@ type DynamicMatches struct {
 // Match scans text against the live dictionary (Theorem 8/10: O(n·log M)
 // work, O(log M) depth).
 func (m *DynamicMatcher) Match(text []byte) *DynamicMatches {
-	ctx := m.cfg.newCtx()
+	r, _ := m.MatchContext(context.Background(), text)
+	return r
+}
+
+// MatchContext is Match under a context: cancellation aborts the scan within
+// one parallel phase and returns an error wrapping ErrCanceled and the
+// context's cause. The dictionary is not mutated by matching, so a canceled
+// match has no effect on subsequent calls.
+func (m *DynamicMatcher) MatchContext(gctx context.Context, text []byte) (*DynamicMatches, error) {
+	ctx := m.cfg.newCtxFor(gctx)
 	r := m.d.Match(ctx, m.enc.Encode(text))
-	return &DynamicMatches{pat: r.Pat, plen: r.Len, stats: statsOf(ctx)}
+	if err := canceledErr(ctx); err != nil {
+		return nil, err
+	}
+	return &DynamicMatches{pat: r.Pat, plen: r.Len, stats: statsOf(ctx)}, nil
 }
 
 // Len reports the text length covered.

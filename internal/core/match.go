@@ -53,6 +53,9 @@ func (d *Dict) SpawnText(c *pram.Ctx, text []int32) [][]int32 {
 	syms := make([][]int32, d.levels)
 	syms[0] = text
 	for k := 1; k < d.levels; k++ {
+		if c.Canceled() {
+			break
+		}
 		prev := syms[k-1]
 		cur := make([]int32, n)
 		half := 1 << uint(k-1)
@@ -82,6 +85,9 @@ func (d *Dict) SpawnText(c *pram.Ctx, text []int32) [][]int32 {
 func (d *Dict) unwind(c *pram.Ctx, text []int32, syms [][]int32, r *Result) {
 	n := len(text)
 	for k := d.levels - 1; k >= 0; k-- {
+		if c.Canceled() {
+			break
+		}
 		step := 1 << uint(k)
 		down := d.down[k]
 		level := syms[k]

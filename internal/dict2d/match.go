@@ -76,6 +76,9 @@ func (d *Dict) spawnGrids(c *pram.Ctx, text [][]int32, rows, cols int) [][][]int
 	grids := make([][][]int32, len(d.levels))
 	grids[0] = text
 	for k := 1; k < len(d.levels); k++ {
+		if c.Canceled() {
+			break
+		}
 		lv := d.levels[k-1]
 		g := 1 << uint(k-1)
 		prev := grids[k-1]
@@ -117,6 +120,9 @@ func quadName(lv *level, prev [][]int32, i, j, g, rows, cols int) int32 {
 // the largest S_k-prefix.
 func (d *Dict) unwind(c *pram.Ctx, grids [][][]int32, r *Result, rows, cols int) {
 	for k := len(d.levels) - 1; k >= 0; k-- {
+		if c.Canceled() {
+			break
+		}
 		lv := d.levels[k]
 		g := 1 << uint(k)
 		grid := grids[k]

@@ -85,6 +85,9 @@ func (d *Dict) spawnGrids(c *pram.Ctx, text [][][]int32, zd, yd, xd int) [][][][
 	grids := make([][][][]int32, len(d.levels))
 	grids[0] = text
 	for k := 1; k < len(d.levels); k++ {
+		if c.Canceled() {
+			break
+		}
 		lv := d.levels[k-1]
 		g := 1 << uint(k-1)
 		prev := grids[k-1]
@@ -129,6 +132,9 @@ func octName(lv *level, prev [][][]int32, z, y, x, g, zd, yd, xd int) int32 {
 // largest S_{k+1}-prefix per cell, leaving with the largest S_k-prefix.
 func (d *Dict) unwind(c *pram.Ctx, grids [][][][]int32, r *Result, zd, yd, xd int) {
 	for k := len(d.levels) - 1; k >= 0; k-- {
+		if c.Canceled() {
+			break
+		}
 		lv := d.levels[k]
 		g := 1 << uint(k)
 		grid := grids[k]

@@ -29,6 +29,9 @@ func (d *Dict) Match(c *pram.Ctx, text []int32) *Result {
 	syms := make([][]int32, levels)
 	syms[0] = text
 	for k := 1; k < levels; k++ {
+		if c.Canceled() {
+			break
+		}
 		prev := syms[k-1]
 		cur := make([]int32, n)
 		half := 1 << uint(k-1)
@@ -52,6 +55,9 @@ func (d *Dict) Match(c *pram.Ctx, text []int32) *Result {
 	names := make([]int32, n)
 	pram.Fill(c, names, naming.Empty)
 	for k := levels - 1; k >= 0; k-- {
+		if c.Canceled() {
+			break
+		}
 		step := 1 << uint(k)
 		down := d.down[k]
 		level := syms[k]

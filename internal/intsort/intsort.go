@@ -39,7 +39,7 @@ func Sort(c *pram.Ctx, ps []Pair) {
 	tmp := make([]Pair, n)
 	src, dst := ps, tmp
 	for shift := 0; shift < 64; shift += radixBits {
-		if or>>shift == 0 {
+		if or>>shift == 0 || c.Canceled() {
 			break
 		}
 		countingPass(c, src, dst, shift)

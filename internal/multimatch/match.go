@@ -44,6 +44,9 @@ func (mm *Matcher) MatchNames(c *pram.Ctx, text []int32) []int32 {
 	c.For(n, func(j int) { act[0][j] = int32(j) })
 	offsets := []int32{0}
 	for d := 1; d < depth; d++ {
+		if c.Canceled() {
+			break
+		}
 		stride := pow4(d - 1)
 		next := make([]int32, 0, 2*len(offsets))
 		for _, o := range offsets {
@@ -62,6 +65,9 @@ func (mm *Matcher) MatchNames(c *pram.Ctx, text []int32) []int32 {
 	syms := make([][]int32, depth)
 	syms[0] = text
 	for d := 1; d < depth; d++ {
+		if c.Canceled() {
+			break
+		}
 		lv := mm.levels[d-1]
 		s := int(pow4(d - 1))
 		prev := syms[d-1]
@@ -80,6 +86,9 @@ func (mm *Matcher) MatchNames(c *pram.Ctx, text []int32) []int32 {
 
 	// Unwind: Steps 3b (even positions) and 3c (odd positions).
 	for d := last - 1; d >= 0; d-- {
+		if c.Canceled() {
+			break
+		}
 		lv := mm.levels[d]
 		s := int(pow4(d))
 		symD := syms[d]

@@ -1,0 +1,41 @@
+package pram
+
+import (
+	"fmt"
+	"testing"
+)
+
+var benchSink int64
+
+// BenchmarkPhaseOverhead compares the two phase executors on the regime the
+// paper's algorithms live in: many short dependent phases (n small, depth
+// large). "spawn" is the historic executor (fresh goroutine set per phase);
+// "pool" is the persistent work-stealing scheduler. The pool must win on
+// short phases and stay even on long ones.
+func BenchmarkPhaseOverhead(b *testing.B) {
+	for _, procs := range []int{4, 8} {
+		pool := NewPool(procs)
+		for _, n := range []int{256, 1024, 4096, 1 << 16, 1 << 20} {
+			xs := make([]int64, n)
+			body := func(lo, hi int) {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += xs[i] + int64(i)
+				}
+				benchSink += s
+			}
+			b.Run(fmt.Sprintf("spawn/procs=%d/n=%d", procs, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					SpawnForChunk(procs, n, body)
+				}
+			})
+			b.Run(fmt.Sprintf("pool/procs=%d/n=%d", procs, n), func(b *testing.B) {
+				c := NewCtx(nil, pool)
+				for i := 0; i < b.N; i++ {
+					c.ForChunk(n, body)
+				}
+			})
+		}
+		pool.Close()
+	}
+}

@@ -1,0 +1,299 @@
+package pram
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent work-stealing scheduler for bulk-synchronous parallel
+// phases. A Pool owns procs−1 long-lived worker goroutines (the goroutine
+// that submits a phase is the procs-th participant); workers park on a
+// condition variable between phases instead of being respawned per phase, so
+// the per-phase cost is a wake plus chunk claims rather than procs goroutine
+// creations — the difference BenchmarkPhaseOverhead measures.
+//
+// A phase's index range is split into per-participant spans of grain-aligned
+// chunks. Each participant drains its own span with an atomic cursor and,
+// when dry, steals chunks from the other spans. The phase barrier is an
+// atomic count of outstanding chunks: the participant that retires the last
+// chunk closes the phase's done channel, which is the only thing the
+// submitter waits on (no per-phase WaitGroup, no goroutine join).
+//
+// Several phases may be in flight at once (e.g. Matcher.MatchBatch pipelines
+// texts over one Pool); workers drain whichever phases are active.
+//
+// Pools are safe for concurrent submission from any number of goroutines,
+// including from within a phase body (nested phases cannot deadlock: chunk
+// claims never block, so a nested submitter can always finish its own phase
+// single-handedly).
+type Pool struct {
+	procs int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []*phase // phases that may still have unclaimed chunks
+	closed bool
+}
+
+// NewPool returns a pool of the given width; procs <= 0 selects
+// runtime.GOMAXPROCS(0). The pool starts procs−1 parked workers immediately.
+// Pools returned by NewPool should be Closed when no longer needed; the
+// process-wide pools returned by Shared live forever.
+func NewPool(procs int) *Pool {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{procs: procs}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 1; w < procs; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+// Procs reports the pool width (maximum concurrent participants per phase).
+func (p *Pool) Procs() int { return p.procs }
+
+// Close parks the pool permanently: workers exit once the active phases
+// drain. Phases must not be submitted after Close (they would execute on the
+// submitter alone). Shared pools are never closed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+var (
+	sharedMu sync.Mutex
+	sharedPs = map[int]*Pool{}
+)
+
+// Shared returns the process-wide pool of the given width, creating it on
+// first use. procs <= 0 selects runtime.GOMAXPROCS(0). Shared pools persist
+// for the life of the process (their workers park between phases), so every
+// Ctx of the same width reuses one warm scheduler instead of tearing worker
+// sets up and down per match.
+func Shared(procs int) *Pool {
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if p, ok := sharedPs[procs]; ok {
+		return p
+	}
+	p := NewPool(procs)
+	sharedPs[procs] = p
+	return p
+}
+
+// grainFor picks the chunk size for an n-element phase: about four chunks
+// per participant for load balance, floored so per-chunk claim overhead stays
+// amortized. The floor adapts to the pool width — the historic fixed floor of
+// 64 serialized any phase with n < 64·procs onto a handful of workers, which
+// is exactly the short-dependent-phase regime the paper's O(log m)-depth
+// algorithms live in.
+func (p *Pool) grainFor(n int) int {
+	g := n / (4 * p.procs)
+	floor := 256 / p.procs
+	if floor > 64 {
+		floor = 64
+	}
+	if floor < 8 {
+		floor = 8
+	}
+	if g < floor {
+		g = floor
+	}
+	return g
+}
+
+// phase is one submitted bulk-parallel step.
+type phase struct {
+	n     int
+	grain int
+	body  func(lo, hi int)
+	owner *Ctx // polled for cancellation at chunk granularity
+
+	spans     []span
+	remaining atomic.Int64 // chunks not yet retired; 0 ⇒ barrier reached
+	done      chan struct{}
+}
+
+// span is one participant's contiguous run of grain-aligned chunks. The
+// cursor is advanced by CAS both by its owner and by thieves, so "deque" and
+// "steal" are the same O(1) claim; padding keeps concurrently-claimed
+// cursors off one cache line.
+type span struct {
+	next atomic.Int64
+	hi   int64
+	_    [48]byte
+}
+
+// claim takes the next chunk of the span, returning its start index or -1
+// when the span is dry.
+func (s *span) claim(grain int) int {
+	for {
+		cur := s.next.Load()
+		if cur >= s.hi {
+			return -1
+		}
+		if s.next.CompareAndSwap(cur, cur+int64(grain)) {
+			return int(cur)
+		}
+	}
+}
+
+// run executes body over [0, n) as one phase on the pool, with the submitter
+// participating. It returns once every chunk has been retired. Chunk starts
+// are always multiples of grain (ExclusiveScan indexes per-chunk partials by
+// lo/grain).
+func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
+	chunks := (n + grain - 1) / grain
+	slots := p.procs
+	if slots > chunks {
+		slots = chunks
+	}
+	ph := &phase{n: n, grain: grain, body: body, owner: c, done: make(chan struct{})}
+	ph.remaining.Store(int64(chunks))
+	ph.spans = make([]span, slots)
+	per, extra := chunks/slots, chunks%slots
+	c0 := 0
+	for s := 0; s < slots; s++ {
+		cnt := per
+		if s < extra {
+			cnt++
+		}
+		lo := int64(c0 * grain)
+		hi := int64((c0 + cnt) * grain)
+		if hi > int64(n) {
+			hi = int64(n)
+		}
+		ph.spans[s].next.Store(lo)
+		ph.spans[s].hi = hi
+		c0 += cnt
+	}
+
+	if slots > 1 {
+		p.mu.Lock()
+		p.active = append(p.active, ph)
+		p.mu.Unlock()
+		for s := 1; s < slots; s++ {
+			p.cond.Signal()
+		}
+	}
+	p.participate(ph, 0)
+	<-ph.done
+}
+
+// participate claims and runs chunks of ph until none remain claimable,
+// preferring the slot-th span and stealing from the rest. It detaches the
+// phase from the active list on the way out, so parked workers never respin
+// on a drained phase.
+func (p *Pool) participate(ph *phase, slot int) {
+	ns := len(ph.spans)
+	own := slot % ns
+	for {
+		lo := ph.spans[own].claim(ph.grain)
+		for d := 1; lo < 0 && d < ns; d++ {
+			lo = ph.spans[(own+d)%ns].claim(ph.grain)
+		}
+		if lo < 0 {
+			p.detach(ph)
+			return
+		}
+		hi := lo + ph.grain
+		if hi > ph.n {
+			hi = ph.n
+		}
+		// Cancellation is polled per chunk: a canceled phase drains its
+		// remaining chunks without executing them, so the barrier is still
+		// reached and the submitter unblocks within O(grain) element work.
+		if !ph.owner.Canceled() {
+			ph.body(lo, hi)
+		}
+		if ph.remaining.Add(-1) == 0 {
+			close(ph.done)
+		}
+	}
+}
+
+func (p *Pool) detach(ph *phase) {
+	p.mu.Lock()
+	for i, a := range p.active {
+		if a == ph {
+			last := len(p.active) - 1
+			p.active[i] = p.active[last]
+			p.active[last] = nil
+			p.active = p.active[:last]
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// worker is the long-lived loop of one pool goroutine: park until phases are
+// active, help drain one, repeat.
+func (p *Pool) worker(id int) {
+	for {
+		p.mu.Lock()
+		for !p.closed && len(p.active) == 0 {
+			p.cond.Wait()
+		}
+		if len(p.active) == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		ph := p.active[id%len(p.active)]
+		p.mu.Unlock()
+		p.participate(ph, id)
+	}
+}
+
+// SpawnForChunk is the pre-pool executor: it spawns a fresh goroutine set
+// for the single phase and joins them on a WaitGroup, with the historic
+// fixed grain floor of 64. It is retained as the baseline that
+// BenchmarkPhaseOverhead and cmd/benchtab's scheduler experiment compare the
+// persistent pool against; engines no longer use it.
+func SpawnForChunk(procs, n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	grain := n / (4 * procs)
+	if grain < 64 {
+		grain = 64
+	}
+	if n <= grain || procs == 1 {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := procs
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

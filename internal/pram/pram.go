@@ -3,45 +3,118 @@
 //
 // The paper's algorithms consist entirely of bulk-synchronous phases: every
 // PRAM step applies a uniform operation to each element of an array. This
-// package executes such phases on a goroutine worker pool and instruments
-// them with two counters that reproduce the quantities the paper's theorems
-// bound:
+// package executes such phases on a persistent work-stealing worker pool
+// (Pool) and instruments them with two counters that reproduce the quantities
+// the paper's theorems bound:
 //
 //   - Work:  the total number of element operations executed, summed over all
 //     phases (the PRAM "processors × time" product).
 //   - Depth: the number of dependent parallel phases (the PRAM parallel time,
 //     up to constant factors per phase).
 //
-// All entry points are safe for use from a single algorithm goroutine; the
-// engine itself fans work out internally.
+// The counters are charged per phase regardless of how the pool schedules the
+// chunks (and regardless of cancellation), so Work/Depth figures depend only
+// on the algorithm, never on grain sizes or pool width.
+//
+// A Ctx additionally carries a context.Context that is polled at chunk
+// granularity: cancelling it makes every running and subsequent phase drain
+// without executing bodies, so an algorithm checking Ctx.Err between phases
+// aborts within one phase of the cancellation. All entry points are safe for
+// use from a single algorithm goroutine; the engine itself fans work out
+// internally, and independent Ctxs may share one Pool concurrently.
 package pram
 
 import (
-	"runtime"
+	"context"
+	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 )
 
-// Ctx carries the worker pool configuration and the instrumentation counters
-// for one algorithm execution. The zero value is not usable; call New.
+// ErrCanceled is reported by Ctx.Err once the context carried by the Ctx has
+// been canceled; every parallel phase issued afterwards is an accounting
+// no-op.
+var ErrCanceled = errors.New("pram: execution canceled")
+
+// Ctx carries the scheduler, the cancellation context, and the
+// instrumentation counters for one algorithm execution. The zero value is not
+// usable; call New or NewCtx.
 type Ctx struct {
-	procs int
+	pool     *Pool
+	gctx     context.Context
+	done     <-chan struct{} // gctx.Done(), cached (nil when not cancelable)
+	canceled atomic.Bool     // sticky: set on first observation of gctx cancellation
 
 	work  atomic.Int64
 	depth atomic.Int64
 }
 
-// New returns a Ctx that runs parallel phases on up to procs workers.
-// procs <= 0 selects runtime.GOMAXPROCS(0).
+// New returns a Ctx that runs parallel phases on the process-wide shared pool
+// of width procs (procs <= 0 selects runtime.GOMAXPROCS(0)) and is never
+// canceled. It is the compatibility constructor; cancelable executions use
+// NewCtx.
 func New(procs int) *Ctx {
-	if procs <= 0 {
-		procs = runtime.GOMAXPROCS(0)
-	}
-	return &Ctx{procs: procs}
+	return NewCtx(nil, Shared(procs))
 }
 
+// NewCtx returns a Ctx bound to the given context and pool. A nil gctx means
+// "never canceled"; a nil pool selects the shared GOMAXPROCS-wide pool.
+func NewCtx(gctx context.Context, pool *Pool) *Ctx {
+	if pool == nil {
+		pool = Shared(0)
+	}
+	c := &Ctx{pool: pool, gctx: gctx}
+	if gctx != nil {
+		c.done = gctx.Done()
+	}
+	return c
+}
+
+// Pool returns the scheduler this context submits phases to.
+func (c *Ctx) Pool() *Pool { return c.pool }
+
 // Procs reports the worker-pool width this context fans out to.
-func (c *Ctx) Procs() int { return c.procs }
+func (c *Ctx) Procs() int { return c.pool.procs }
+
+// Canceled reports whether the context carried by c has been canceled. It is
+// cheap (one atomic load plus, until cancellation is first observed, one
+// non-blocking channel poll) and is the check the pool performs per chunk;
+// engines use it to break out of sequential glue between phases. The result
+// is sticky: once true, always true.
+func (c *Ctx) Canceled() bool {
+	if c.canceled.Load() {
+		return true
+	}
+	if c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.canceled.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns ErrCanceled once the context carried by c has been canceled,
+// else nil. Engines check it between dependent phases to abort early.
+func (c *Ctx) Err() error {
+	if c.Canceled() {
+		return ErrCanceled
+	}
+	return nil
+}
+
+// Cause returns the underlying context error (context.Canceled or
+// context.DeadlineExceeded) after cancellation, else nil.
+func (c *Ctx) Cause() error {
+	if c.gctx == nil {
+		return nil
+	}
+	return c.gctx.Err()
+}
 
 // Work returns the accumulated work counter (element operations).
 func (c *Ctx) Work() int64 { return c.work.Load() }
@@ -63,16 +136,6 @@ func (c *Ctx) AddWork(n int64) { c.work.Add(n) }
 // AddDepth charges d units of depth without running anything.
 func (c *Ctx) AddDepth(d int64) { c.depth.Add(d) }
 
-// grainFor picks a chunk size that amortizes scheduling overhead while still
-// exposing enough chunks to balance load across the pool.
-func (c *Ctx) grainFor(n int) int {
-	g := n / (4 * c.procs)
-	if g < 64 {
-		g = 64
-	}
-	return g
-}
-
 // For runs body(i) for every i in [0, n) as one parallel phase, charging n
 // work and 1 depth. The body must not depend on iteration order and must not
 // write to data read by other iterations of the same phase (the CRCW
@@ -88,50 +151,50 @@ func (c *Ctx) For(n int, body func(i int)) {
 
 // ForChunk runs body(lo, hi) over a partition of [0, n) as one parallel
 // phase, charging n work and 1 depth. It is the loop-blocked variant of For
-// for bodies that benefit from chunk-local state.
+// for bodies that benefit from chunk-local state. Chunk starts are always
+// multiples of the phase grain. Once the Ctx is canceled the phase is an
+// accounting no-op (charges are made, bodies are not run).
 func (c *Ctx) ForChunk(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	c.work.Add(int64(n))
 	c.depth.Add(1)
-	grain := c.grainFor(n)
-	if n <= grain || c.procs == 1 {
-		body(0, n)
+	grain := c.pool.grainFor(n)
+	if n <= grain {
+		if !c.Canceled() {
+			body(0, n)
+		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	workers := c.procs
-	if max := (n + grain - 1) / grain; workers > max {
-		workers = max
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+	if c.pool.procs == 1 {
+		// Inline execution, still at chunk granularity so cancellation
+		// aborts a long phase partway through.
+		for lo := 0; lo < n; lo += grain {
+			if c.Canceled() {
+				return
 			}
-		}()
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+		return
 	}
-	wg.Wait()
+	c.pool.run(c, n, grain, body)
 }
 
 // Phase charges one unit of depth and w units of work for a step executed
 // inline by f. It exists so sequential glue (e.g. a single table lookup per
-// recursion level) is reflected in the depth accounting.
+// recursion level) is reflected in the depth accounting. Canceled contexts
+// skip f.
 func (c *Ctx) Phase(w int64, f func()) {
 	c.depth.Add(1)
 	c.work.Add(w)
+	if c.Canceled() {
+		return
+	}
 	f()
 }
 
@@ -157,12 +220,14 @@ func (c *Ctx) ReduceInt64(n int, id int64, f func(i int) int64, comb func(a, b i
 	return acc
 }
 
-// MaxInt returns the maximum of f over [0, n), or def when n <= 0.
+// MaxInt returns the maximum of f over [0, n), or def when n <= 0. Each
+// index is evaluated exactly once (math.MinInt64 is the reduction identity),
+// so effectful or expensive bodies are safe.
 func (c *Ctx) MaxInt(n int, def int, f func(i int) int) int {
 	if n <= 0 {
 		return def
 	}
-	r := c.ReduceInt64(n, int64(f(0)), func(i int) int64 { return int64(f(i)) },
+	r := c.ReduceInt64(n, math.MinInt64, func(i int) int64 { return int64(f(i)) },
 		func(a, b int64) int64 {
 			if a > b {
 				return a
@@ -172,19 +237,27 @@ func (c *Ctx) MaxInt(n int, def int, f func(i int) int) int {
 	return int(r)
 }
 
+// seqScanThreshold is the historic fixed grain floor. ExclusiveScan keeps it
+// as the sequential/chunked decision point — independent of the pool's
+// adaptive grain — so the 1-phase vs 2-phase Work/Depth accounting is
+// identical to the pre-pool engine on every input.
+const seqScanThreshold = 64
+
 // ExclusiveScan replaces xs with its exclusive prefix sums and returns the
 // total. It runs as two parallel phases over the chunked decomposition
-// (2n work, 2 depth), the standard work-efficient scan.
+// (2n work, 2 depth), the standard work-efficient scan; short inputs run as
+// one sequential phase (n work, 1 depth).
 func (c *Ctx) ExclusiveScan(xs []int64) int64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
 	}
-	grain := c.grainFor(n)
-	chunks := (n + grain - 1) / grain
-	if chunks == 1 || c.procs == 1 {
+	if n <= seqScanThreshold || c.pool.procs == 1 {
 		c.work.Add(int64(n))
 		c.depth.Add(1)
+		if c.Canceled() {
+			return 0
+		}
 		var sum int64
 		for i := range xs {
 			v := xs[i]
@@ -193,6 +266,8 @@ func (c *Ctx) ExclusiveScan(xs []int64) int64 {
 		}
 		return sum
 	}
+	grain := c.pool.grainFor(n)
+	chunks := (n + grain - 1) / grain
 	sums := make([]int64, chunks)
 	c.ForChunk(n, func(lo, hi int) {
 		var s int64

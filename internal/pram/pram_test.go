@@ -199,7 +199,8 @@ func TestNestedFor(t *testing.T) {
 
 func TestForChunkSmallN(t *testing.T) {
 	c := New(8)
-	for _, n := range []int{1, 2, 63} { // below the grain: inline path
+	grain := c.Pool().grainFor(1)
+	for _, n := range []int{1, 2, grain} { // at or below the grain: inline path
 		calls := 0
 		c.ForChunk(n, func(lo, hi int) {
 			calls++
@@ -212,6 +213,20 @@ func TestForChunkSmallN(t *testing.T) {
 		}
 	}
 	c.ForChunk(0, func(lo, hi int) { t.Fatal("empty range must not call body") })
+}
+
+func TestAdaptiveGrainFansOutSmallPhases(t *testing.T) {
+	// The old fixed floor of 64 would run an n=256 phase on a 32-wide pool as
+	// 4 chunks; the adaptive floor must expose at least 8.
+	p := NewPool(32)
+	defer p.Close()
+	if g := p.grainFor(256); 256/g < 8 {
+		t.Fatalf("grainFor(256) = %d on 32-wide pool: only %d chunks", g, 256/g)
+	}
+	// Large phases keep the ~4-chunks-per-proc shape.
+	if g := p.grainFor(1 << 20); g < (1<<20)/(4*32) {
+		t.Fatalf("grainFor(1<<20) = %d: grain collapsed on large n", g)
+	}
 }
 
 func TestScanSingleProc(t *testing.T) {

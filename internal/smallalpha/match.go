@@ -97,21 +97,23 @@ func (m *Matcher) Match(c *pram.Ctx, text []int32) []int32 {
 	// the α-iteration from the virtual anchor at n (disjoint from the last
 	// real anchor's window, so no position is written twice).
 	if r := n % l; r != 0 {
-		alpha := naming.Empty
-		lastAnchor := (n / l) * l
-		for p := n - 1; p > lastAnchor; p-- {
-			sym := text[p]
-			if sym < 0 || int(sym) >= m.sigma {
-				alpha = naming.Empty
-				out[p] = -1
-				continue
-			}
-			alpha = m.alphaTab.Lookup(naming.EncodePair(sym, alpha))
-			if alpha == naming.None {
-				alpha = naming.Empty
-			}
-			if alpha != naming.Empty {
-				out[p] = m.lpD[alpha]
+		if !c.Canceled() {
+			alpha := naming.Empty
+			lastAnchor := (n / l) * l
+			for p := n - 1; p > lastAnchor; p-- {
+				sym := text[p]
+				if sym < 0 || int(sym) >= m.sigma {
+					alpha = naming.Empty
+					out[p] = -1
+					continue
+				}
+				alpha = m.alphaTab.Lookup(naming.EncodePair(sym, alpha))
+				if alpha == naming.None {
+					alpha = naming.Empty
+				}
+				if alpha != naming.Empty {
+					out[p] = m.lpD[alpha]
+				}
 			}
 		}
 		c.AddWork(int64(r))

@@ -1,11 +1,14 @@
 package pardict
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"pardict/internal/alpha"
 	"pardict/internal/core"
 	"pardict/internal/multimatch"
+	"pardict/internal/pram"
 	"pardict/internal/smallalpha"
 	"pardict/internal/trie"
 )
@@ -184,9 +187,30 @@ type Matches struct {
 
 // Match scans text and reports, per position, the longest pattern starting
 // there (Theorem 1/3 matching: O(n·log m) work — or the engine's improved
-// bound — at O(log m) depth).
+// bound — at O(log m) depth). It is MatchContext under a context that is
+// never canceled.
 func (m *Matcher) Match(text []byte) *Matches {
-	ctx := m.cfg.newCtx()
+	r, _ := m.MatchContext(context.Background(), text)
+	return r
+}
+
+// MatchContext is Match under a context: cancellation (or deadline expiry)
+// aborts the scan within one parallel phase and returns an error wrapping
+// both ErrCanceled and the context's cause; no partial result is returned.
+// The underlying scheduler is shared and survives cancellation, so concurrent
+// matches on the same pool are unaffected.
+func (m *Matcher) MatchContext(gctx context.Context, text []byte) (*Matches, error) {
+	ctx := m.cfg.newCtxFor(gctx)
+	out := m.matchOn(ctx, text)
+	if err := canceledErr(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// matchOn runs the configured engine over text on an already-bound execution
+// context. The result is only meaningful if ctx was not canceled.
+func (m *Matcher) matchOn(ctx *pram.Ctx, text []byte) *Matches {
 	enc := m.enc.Encode(text)
 	out := &Matches{m: m}
 	switch m.engine {
@@ -204,6 +228,62 @@ func (m *Matcher) Match(text []byte) *Matches {
 	}
 	out.stats = statsOf(ctx)
 	return out
+}
+
+// batchInflight bounds how many texts of one MatchBatch call are matched
+// concurrently. Pipelining a few texts keeps the pool busy across the
+// low-parallelism tails of each text's phase cascade without running the
+// whole batch's memory footprint at once.
+const batchInflight = 4
+
+// MatchBatch scans every text and returns the per-text results, in order.
+// All texts execute on the matcher's one scheduler (the shared pool, or the
+// WithPool-supplied one), pipelined a few texts at a time so phase barriers
+// of one text overlap useful work from the next. Cancellation aborts the
+// whole batch: the first error is returned and no partial results.
+func (m *Matcher) MatchBatch(gctx context.Context, texts [][]byte) ([]*Matches, error) {
+	out := make([]*Matches, len(texts))
+	if len(texts) == 0 {
+		return out, nil
+	}
+	inflight := batchInflight
+	if inflight > len(texts) {
+		inflight = len(texts)
+	}
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i, t := range texts {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, t []byte) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx := m.cfg.newCtxFor(gctx)
+			r := m.matchOn(ctx, t)
+			if err := canceledErr(ctx); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = r
+		}(i, t)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // Len reports the text length the matches cover.

@@ -1,6 +1,8 @@
 package pardict
 
 import (
+	"context"
+
 	"pardict/internal/alpha"
 	"pardict/internal/dict2d"
 	"pardict/internal/dict3d"
@@ -60,13 +62,23 @@ type Matches2D struct {
 // cell, the largest pattern whose top-left corner matches there
 // (Theorem 6: O(n·log m) work, O(log m) depth).
 func (m *Matcher2D) Match2D(text [][]byte) (*Matches2D, error) {
-	ctx := m.cfg.newCtx()
+	return m.Match2DContext(context.Background(), text)
+}
+
+// Match2DContext is Match2D under a context: cancellation aborts the scan
+// within one parallel phase and returns an error wrapping ErrCanceled and
+// the context's cause.
+func (m *Matcher2D) Match2DContext(gctx context.Context, text [][]byte) (*Matches2D, error) {
+	ctx := m.cfg.newCtxFor(gctx)
 	enc := make([][]int32, len(text))
 	for i, row := range text {
 		enc[i] = m.enc.Encode(row)
 	}
 	r, err := m.d.Match(ctx, enc)
 	if err != nil {
+		return nil, err
+	}
+	if err := canceledErr(ctx); err != nil {
 		return nil, err
 	}
 	return &Matches2D{m: m, r2d: r, pat: r.Pat, side: r.Side, stats: statsOf(ctx)}, nil
@@ -144,6 +156,14 @@ func (m *Matcher3D) PatternCount() int { return m.d.PatternCount() }
 // largest pattern whose corner matches there, or -1 (Theorem 6 extended to
 // d = 3: O(n·log m) work).
 func (m *Matcher3D) Match3D(text [][][]byte) ([][][]int32, error) {
+	return m.Match3DContext(context.Background(), text)
+}
+
+// Match3DContext is Match3D under a context: cancellation aborts the scan
+// within one parallel phase and returns an error wrapping ErrCanceled and
+// the context's cause.
+func (m *Matcher3D) Match3DContext(gctx context.Context, text [][][]byte) ([][][]int32, error) {
+	ctx := m.cfg.newCtxFor(gctx)
 	enc := make([][][]int32, len(text))
 	for z, slice := range text {
 		enc[z] = make([][]int32, len(slice))
@@ -151,8 +171,11 @@ func (m *Matcher3D) Match3D(text [][][]byte) ([][][]int32, error) {
 			enc[z][y] = m.enc.Encode(row)
 		}
 	}
-	r, err := m.d.Match(m.cfg.newCtx(), enc)
+	r, err := m.d.Match(ctx, enc)
 	if err != nil {
+		return nil, err
+	}
+	if err := canceledErr(ctx); err != nil {
 		return nil, err
 	}
 	return r.Pat, nil

@@ -24,12 +24,21 @@
 package pardict
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"pardict/internal/alpha"
 	"pardict/internal/pram"
 )
+
+// ErrCanceled is reported (wrapped) by the *Context matching entry points when
+// the supplied context is canceled or its deadline expires before the match
+// completes. The returned error also wraps the context's own error, so both
+// errors.Is(err, pardict.ErrCanceled) and errors.Is(err, context.Canceled) /
+// context.DeadlineExceeded hold.
+var ErrCanceled = errors.New("pardict: match canceled")
 
 // Engine selects the matching algorithm for a Matcher.
 type Engine int
@@ -75,6 +84,7 @@ type Stats struct {
 
 type config struct {
 	procs    int
+	pool     *Pool  // caller-supplied scheduler; nil = process-wide shared pool
 	engine   Engine
 	sigma    []byte // dense alphabet; nil = raw bytes (σ = 256)
 	collapse int    // L for the small-alphabet engine; 0 = auto
@@ -84,9 +94,19 @@ type config struct {
 // Option configures matcher construction.
 type Option func(*config)
 
-// WithParallelism bounds the goroutine pool (default GOMAXPROCS).
+// WithParallelism bounds the goroutine pool (default GOMAXPROCS). Matchers of
+// equal parallelism share one process-wide persistent pool, so the per-match
+// cost is a worker wake-up, not a goroutine-set spawn.
 func WithParallelism(procs int) Option {
 	return func(c *config) { c.procs = procs }
+}
+
+// WithPool runs every operation of the configured matcher on the given
+// caller-owned scheduler instead of the process-wide shared one. Use it to
+// isolate a matcher's CPU use, or to make several matchers (and MatchBatch
+// pipelines) share one bounded worker set.
+func WithPool(p *Pool) Option {
+	return func(c *config) { c.pool = p }
 }
 
 // WithEngine forces a specific engine.
@@ -125,7 +145,29 @@ func buildConfig(opts []Option) *config {
 	return c
 }
 
-func (c *config) newCtx() *pram.Ctx { return pram.New(c.procs) }
+func (c *config) newCtx() *pram.Ctx { return c.newCtxFor(nil) }
+
+// newCtxFor binds one operation's execution context: the configured scheduler
+// plus the caller's cancellation context (nil means "never canceled").
+func (c *config) newCtxFor(gctx context.Context) *pram.Ctx {
+	if c.pool != nil {
+		return pram.NewCtx(gctx, c.pool.p)
+	}
+	return pram.NewCtx(gctx, pram.Shared(c.procs))
+}
+
+// canceledErr converts a canceled execution into the public error, wrapping
+// both ErrCanceled and the context's own cause; nil when the execution ran to
+// completion.
+func canceledErr(ctx *pram.Ctx) error {
+	if ctx.Err() == nil {
+		return nil
+	}
+	if cause := ctx.Cause(); cause != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, cause)
+	}
+	return ErrCanceled
+}
 
 func (c *config) encoder() (*alpha.Encoder, error) {
 	if c.sigma == nil {

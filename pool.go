@@ -1,0 +1,35 @@
+package pardict
+
+import "pardict/internal/pram"
+
+// Pool is a persistent work-stealing scheduler that matchers execute their
+// parallel phases on. Workers are long-lived goroutines that park between
+// phases, so issuing a phase costs a wake-up rather than a goroutine-set
+// spawn — the decisive overhead for the paper's O(log m)-depth cascades of
+// short dependent phases.
+//
+// By default every matcher of parallelism p runs on a process-wide shared
+// pool of width p (created on first use, never torn down). Construct an
+// explicit Pool and pass it via WithPool to bound the CPU a group of matchers
+// may use, or to let MatchBatch pipeline many texts through one worker set.
+//
+// A Pool is safe for concurrent use by any number of matchers and goroutines.
+type Pool struct {
+	p *pram.Pool
+}
+
+// NewPool returns a scheduler with the given number of workers; procs <= 0
+// selects runtime.GOMAXPROCS(0). Call Close when the pool is no longer
+// needed; the process-wide shared pools used when no WithPool option is given
+// are managed automatically and never closed.
+func NewPool(procs int) *Pool {
+	return &Pool{p: pram.NewPool(procs)}
+}
+
+// Procs reports the pool's worker count (the maximum parallelism of any
+// single phase it runs).
+func (p *Pool) Procs() int { return p.p.Procs() }
+
+// Close releases the pool's workers once in-flight operations drain. No
+// operation may be started on a matcher bound to p after Close.
+func (p *Pool) Close() { p.p.Close() }

@@ -1,6 +1,7 @@
 package pardict
 
 import (
+	"context"
 	"io"
 )
 
@@ -31,6 +32,15 @@ func (m *Matcher) Stream(emit func(pos int64, pattern int)) *StreamMatcher {
 // Feed appends chunk to the stream and emits every match that is now final.
 // It may be called with chunks of any size, including empty.
 func (s *StreamMatcher) Feed(chunk []byte) error {
+	return s.FeedContext(context.Background(), chunk)
+}
+
+// FeedContext is Feed under a context. On cancellation it returns an error
+// wrapping ErrCanceled before emitting anything or advancing the stream: the
+// fed bytes are retained, so the stream stays consistent and the caller may
+// resume by calling FeedContext again (an empty chunk reprocesses what is
+// buffered).
+func (s *StreamMatcher) FeedContext(gctx context.Context, chunk []byte) error {
 	if s.closed {
 		return io.ErrClosedPipe
 	}
@@ -40,28 +50,56 @@ func (s *StreamMatcher) Feed(chunk []byte) error {
 		return nil
 	}
 	final := len(s.carry) - hold // positions [0, final) are finalized
-	r := s.m.Match(s.carry)
+	r, err := s.m.MatchContext(gctx, s.carry)
+	if err != nil {
+		return err
+	}
 	for j := 0; j < final; j++ {
 		if p, ok := r.Longest(j); ok {
 			s.emit(s.offset+int64(j), p)
 		}
 	}
 	s.offset += int64(final)
-	s.carry = append(s.carry[:0], s.carry[final:]...)
+	s.carry = shrinkCarry(s.carry, final)
 	return nil
+}
+
+// shrinkCarry drops the finalized prefix of the carry buffer. Reslicing in
+// place would pin the largest buffer any Feed ever produced (the backing
+// array only ever grows); once the live tail is a small fraction of the
+// capacity, copy it into a right-sized allocation instead.
+func shrinkCarry(carry []byte, final int) []byte {
+	rem := len(carry) - final
+	if cap(carry) > 64 && cap(carry) > 4*rem {
+		fresh := make([]byte, rem)
+		copy(fresh, carry[final:])
+		return fresh
+	}
+	return append(carry[:0], carry[final:]...)
 }
 
 // Close flushes the held-back tail, emitting its matches, and invalidates
 // the stream.
 func (s *StreamMatcher) Close() error {
+	return s.CloseContext(context.Background())
+}
+
+// CloseContext is Close under a context. On cancellation the stream is NOT
+// invalidated: the tail stays buffered and no matches are emitted, so the
+// caller may retry CloseContext (or keep feeding).
+func (s *StreamMatcher) CloseContext(gctx context.Context) error {
 	if s.closed {
 		return nil
 	}
-	s.closed = true
 	if len(s.carry) == 0 {
+		s.closed = true
 		return nil
 	}
-	r := s.m.Match(s.carry)
+	r, err := s.m.MatchContext(gctx, s.carry)
+	if err != nil {
+		return err
+	}
+	s.closed = true
 	for j := 0; j < r.Len(); j++ {
 		if p, ok := r.Longest(j); ok {
 			s.emit(s.offset+int64(j), p)
