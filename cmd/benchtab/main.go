@@ -82,7 +82,8 @@ func scale(full, quickV int) int {
 func e1() {
 	header("E1", "Theorem 1/3: matching work = Θ(n·log m), depth = Θ(log m)")
 	n := scale(1<<20, 1<<16)
-	fmt.Printf("%8s %8s %12s %10s %8s\n", "m", "levels", "work/n", "w/n/log2m", "depth")
+	fmt.Printf("%8s %8s %12s %10s %8s %8s %8s\n",
+		"m", "levels", "work/n", "w/n/log2m", "depth", "steals", "grain")
 	for _, m := range []int{16, 64, 256, 1024, 4096} {
 		np := scale(1<<16, 1<<12) / m * 2
 		if np < 2 {
@@ -94,11 +95,16 @@ func e1() {
 		d, err := core.Preprocess(c, pats)
 		check(err)
 		c.ResetStats()
+		before := c.Pool().Stats()
 		d.Match(c, text)
+		st := c.Pool().Stats()
 		wpn := float64(c.Work()) / float64(n)
-		row("%8d %8d %12.2f %10.3f %8d", m, d.Levels(), wpn, wpn/math.Log2(float64(m)), c.Depth())
+		grain := meanDelta(st.GrainSum-before.GrainSum, st.Phases-before.Phases)
+		row("%8d %8d %12.2f %10.3f %8d %8d %8.0f", m, d.Levels(), wpn,
+			wpn/math.Log2(float64(m)), c.Depth(), st.Steals-before.Steals, grain)
 	}
-	fmt.Println("shape check: work/n/log2(m) column is ~constant; depth grows as ~2·log2(m).")
+	fmt.Println("shape check: work/n/log2(m) column is ~constant; depth grows as ~2·log2(m);")
+	fmt.Println("             steals/grain come from the scheduler counters, not the cost model.")
 }
 
 // e2: Theorem 3 — dictionary preprocessing work is Θ(M).
@@ -542,4 +548,13 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
+}
+
+// meanDelta divides two counter deltas, guarding the empty case (e.g. the
+// obs package disabled, or every phase run inline).
+func meanDelta(sum, count int64) float64 {
+	if count == 0 {
+		return 0
+	}
+	return float64(sum) / float64(count)
 }

@@ -88,6 +88,10 @@ func e13() {
 			row("%6d %10d %8d %14.0f %14.0f %8.2fx",
 				p.Procs, p.N, p.Phases, p.SpawnNsPerPhase, p.PoolNsPerPhase, p.Speedup)
 		}
+		st := pool.Stats()
+		fmt.Printf("   pool counters (procs=%d): phases=%d pooled=%d chunks=%d steals=%d parks=%d mean-grain=%.0f mean-queue=%.2f\n",
+			procs, st.Phases, st.PooledPhases, st.Chunks, st.Steals, st.Parks,
+			meanDelta(st.GrainSum, st.Phases), meanDelta(st.QueueSum, st.PooledPhases))
 		pool.Close()
 	}
 	fmt.Println("shape check: pool ns/phase below spawn on short phases (n ≤ 4096); parity on long.")

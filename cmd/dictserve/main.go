@@ -7,10 +7,16 @@
 //	POST /scan?mode=count body = text; response = {"count": N}
 //	POST /scanbatch       body = {"texts": [...]}; scans pipelined in one call
 //	GET  /healthz         liveness + dictionary metadata
+//	GET  /metrics         Prometheus text format: request latency histogram,
+//	                      timeout/cancel/error counters, accumulated engine
+//	                      Work/Depth, and the scheduler's phase/steal/park/
+//	                      grain counters
+//	GET  /debug/vars      the same state as expvar JSON (plus memstats)
 //
 // Scans honor request cancellation (a disconnected client aborts its match
 // within one parallel phase) and the -timeout per-request deadline (exceeding
-// it returns 504).
+// it returns 504); any other matching failure returns 500 rather than an
+// empty success.
 //
 // Usage:
 //

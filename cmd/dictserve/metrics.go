@@ -1,0 +1,204 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pardict"
+	"pardict/internal/obs"
+)
+
+// latencyBoundsNs are the scan-latency histogram buckets, in nanoseconds:
+// 100µs to 10s, roughly 2.5×–4× apart — wide enough to cover both a cache-hot
+// small scan and a deadline-bounded worst case.
+var latencyBoundsNs = []int64{
+	100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+	10_000_000, 25_000_000, 50_000_000, 100_000_000, 250_000_000,
+	500_000_000, 1_000_000_000, 2_500_000_000, 5_000_000_000, 10_000_000_000,
+}
+
+// serverMetrics is the serving-path observability state: request counts per
+// endpoint and status, the scan-latency histogram, the outcome counters the
+// request-cancel/timeout plumbing feeds, and the accumulated engine
+// Work/Depth of every completed scan. The scheduler's own counters live on
+// the pool (pardict.SchedulerStats); /metrics renders both.
+type serverMetrics struct {
+	scanLatency *obs.Histogram // ns per matching call (scan and scanbatch)
+
+	timeouts    obs.Counter // 504: per-request deadline expired mid-match
+	cancels     obs.Counter // client disconnected mid-match; nothing written
+	matchErrors obs.Counter // 500: genuine engine failure
+
+	engineWork  obs.Counter // sum of Stats().Work over completed matches
+	engineDepth obs.Counter // sum of Stats().Depth over completed matches
+	texts       obs.Counter // texts scanned (batch counts each text)
+	bytes       obs.Counter // text bytes scanned
+
+	mu       sync.Mutex
+	requests map[reqKey]int64
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		scanLatency: obs.NewHistogram(latencyBoundsNs),
+		requests:    map[reqKey]int64{},
+	}
+}
+
+// countRequest records one finished request. code 0 means "nothing written"
+// (client disconnect), tracked under its own synthetic code so the rate of
+// abandoned requests stays visible.
+func (m *serverMetrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.mu.Unlock()
+}
+
+// recordScan accumulates the per-text engine cost of one completed match.
+func (m *serverMetrics) recordScan(st pardict.Stats, textBytes int) {
+	m.engineWork.Add(st.Work)
+	m.engineDepth.Add(st.Depth)
+	m.texts.Inc()
+	m.bytes.Add(int64(textBytes))
+}
+
+// handleMetrics renders everything in the Prometheus text exposition format,
+// by hand — the format is a few fmt.Fprintf shapes and pulling in a client
+// library for it would be the project's first dependency.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m := s.metrics
+
+	fmt.Fprintf(w, "# HELP pardict_requests_total Finished HTTP requests by endpoint and status code (code 0: client gone, nothing written).\n")
+	fmt.Fprintf(w, "# TYPE pardict_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "pardict_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	m.mu.Unlock()
+
+	lat := m.scanLatency.Snapshot()
+	fmt.Fprintf(w, "# HELP pardict_scan_latency_seconds Matching latency per scanned text.\n")
+	fmt.Fprintf(w, "# TYPE pardict_scan_latency_seconds histogram\n")
+	var cum int64
+	for i, b := range lat.Bounds {
+		cum += lat.Counts[i]
+		fmt.Fprintf(w, "pardict_scan_latency_seconds_bucket{le=\"%g\"} %d\n", float64(b)/1e9, cum)
+	}
+	cum += lat.Counts[len(lat.Counts)-1]
+	fmt.Fprintf(w, "pardict_scan_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "pardict_scan_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
+	fmt.Fprintf(w, "pardict_scan_latency_seconds_count %d\n", lat.Count)
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("pardict_scan_timeouts_total", "Scans aborted by the per-request deadline (HTTP 504).", m.timeouts.Load())
+	counter("pardict_scan_cancels_total", "Scans aborted by client disconnect.", m.cancels.Load())
+	counter("pardict_scan_errors_total", "Scans failed with a genuine engine error (HTTP 500).", m.matchErrors.Load())
+	counter("pardict_engine_work_total", "Accumulated PRAM work (element operations) of completed matches.", m.engineWork.Load())
+	counter("pardict_engine_depth_total", "Accumulated PRAM depth (dependent parallel phases) of completed matches.", m.engineDepth.Load())
+	counter("pardict_texts_scanned_total", "Texts matched (each batch entry counts once).", m.texts.Load())
+	counter("pardict_bytes_scanned_total", "Text bytes matched.", m.bytes.Load())
+
+	fmt.Fprintf(w, "# HELP pardict_dictionary_info Dictionary shape (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE pardict_dictionary_info gauge\n")
+	fmt.Fprintf(w, "pardict_dictionary_info{engine=%q} 1\n", s.m.Engine().String())
+	gauge("pardict_dictionary_patterns", "Loaded pattern count.", int64(s.m.PatternCount()))
+	gauge("pardict_dictionary_max_len", "Longest pattern length m.", int64(s.m.MaxLen()))
+	gauge("pardict_dictionary_bytes", "Total pattern size M.", int64(s.m.Size()))
+
+	st := s.m.SchedulerStats()
+	counter("pardict_scheduler_phases_total", "Parallel phases issued (including inline short phases).", st.Phases)
+	counter("pardict_scheduler_pooled_phases_total", "Phases fanned out to the worker pool.", st.PooledPhases)
+	counter("pardict_scheduler_chunks_total", "Grain-sized chunks executed by pooled phases.", st.Chunks)
+	counter("pardict_scheduler_steals_total", "Chunks claimed outside the claimant's own span.", st.Steals)
+	counter("pardict_scheduler_parks_total", "Worker park events between phases.", st.Parks)
+	counter("pardict_scheduler_unparks_total", "Worker wake events.", st.Unparks)
+	counter("pardict_scheduler_grain_sum", "Sum of per-phase chosen grains (divide by phases for the mean).", st.GrainSum)
+	counter("pardict_scheduler_queue_sum", "Sum of active-phase occupancy samples at submit.", st.QueueSum)
+	gauge("pardict_scheduler_queue_max", "Peak concurrently active phases.", st.QueueMax)
+}
+
+// currentVars points expvar at the most recently constructed server: expvar's
+// registry is process-global and Publish panics on re-registration, so the
+// (test-friendly) contract is "the latest server wins".
+var currentVars atomic.Pointer[server]
+
+var publishVarsOnce sync.Once
+
+// publishVars registers the "pardict" expvar exactly once per process; the
+// published Func re-reads whatever server is current at scrape time.
+func publishVars() {
+	publishVarsOnce.Do(func() {
+		expvar.Publish("pardict", expvar.Func(func() any {
+			s := currentVars.Load()
+			if s == nil {
+				return nil
+			}
+			return s.varsSnapshot()
+		}))
+	})
+}
+
+// varsSnapshot is the /debug/vars view: the same counters as /metrics, as a
+// JSON object.
+func (s *server) varsSnapshot() map[string]any {
+	m := s.metrics
+	lat := m.scanLatency.Snapshot()
+	m.mu.Lock()
+	reqs := map[string]int64{}
+	for k, v := range m.requests {
+		reqs[fmt.Sprintf("%s:%d", k.endpoint, k.code)] = v
+	}
+	m.mu.Unlock()
+	st := s.m.SchedulerStats()
+	return map[string]any{
+		"requests":          reqs,
+		"scan_timeouts":     m.timeouts.Load(),
+		"scan_cancels":      m.cancels.Load(),
+		"scan_errors":       m.matchErrors.Load(),
+		"engine_work":       m.engineWork.Load(),
+		"engine_depth":      m.engineDepth.Load(),
+		"texts_scanned":     m.texts.Load(),
+		"bytes_scanned":     m.bytes.Load(),
+		"scan_latency_ms":   float64(lat.Sum) / 1e6,
+		"scans":             lat.Count,
+		"dictionary":        map[string]any{"engine": s.m.Engine().String(), "patterns": s.m.PatternCount(), "max_len": s.m.MaxLen(), "bytes": s.m.Size()},
+		"scheduler":         st,
+		"scheduler_derived": map[string]float64{"mean_grain": st.MeanGrain(), "mean_queue": st.MeanQueue()},
+	}
+}
+
+// observeLatency records one matching call's wall time.
+func (m *serverMetrics) observeLatency(d time.Duration) {
+	m.scanLatency.Observe(d.Nanoseconds())
+}

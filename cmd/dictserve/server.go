@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"io"
 	"net/http"
 	"os"
@@ -20,13 +21,19 @@ type server struct {
 	maxBody int64
 	timeout time.Duration // per-request matching deadline; 0 = none
 	mux     *http.ServeMux
+	metrics *serverMetrics
 }
 
 func newServer(m *pardict.Matcher, maxBody int64, timeout time.Duration) *server {
-	s := &server{m: m, maxBody: maxBody, timeout: timeout, mux: http.NewServeMux()}
+	s := &server{m: m, maxBody: maxBody, timeout: timeout, mux: http.NewServeMux(),
+		metrics: newServerMetrics()}
 	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/scanbatch", s.handleScanBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	currentVars.Store(s)
+	publishVars()
 	return s
 }
 
@@ -44,15 +51,27 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
-// writeMatchErr maps a matching error to an HTTP response: 504 when the
-// per-request deadline expired, and a silent return when the client itself
-// went away (it cannot read a status anyway).
-func writeMatchErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) {
+// writeMatchErr maps a matching error to an HTTP response and returns the
+// status code written: 504 when the per-request deadline expired, a silent
+// return (code 0) only when the client itself went away (it cannot read a
+// status anyway), and 500 for any other failure — a genuine engine error must
+// never masquerade as an empty success.
+func (s *server) writeMatchErr(w http.ResponseWriter, r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.timeouts.Inc()
 		http.Error(w, "scan deadline exceeded", http.StatusGatewayTimeout)
-		return
+		return http.StatusGatewayTimeout
+	case r.Context().Err() != nil:
+		// The request's own context is dead: the client disconnected (or
+		// its deadline fired client-side). Nothing useful to write.
+		s.metrics.cancels.Inc()
+		return 0
+	default:
+		s.metrics.matchErrors.Inc()
+		http.Error(w, "scan failed: "+err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
 	}
-	// Client disconnect: nothing useful to write.
 }
 
 // scanMatch is one reported occurrence.
@@ -79,11 +98,15 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	t0 := time.Now()
 	res, err := s.m.MatchContext(ctx, body)
+	s.metrics.observeLatency(time.Since(t0))
 	if err != nil {
-		writeMatchErr(w, err)
+		s.metrics.countRequest("scan", s.writeMatchErr(w, r, err))
 		return
 	}
+	s.metrics.recordScan(res.Stats(), len(body))
+	s.metrics.countRequest("scan", http.StatusOK)
 	out := s.collect(res, r.URL.Query().Get("mode"))
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
@@ -154,11 +177,17 @@ func (s *server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	t0 := time.Now()
 	results, err := s.m.MatchBatch(ctx, texts)
+	s.metrics.observeLatency(time.Since(t0))
 	if err != nil {
-		writeMatchErr(w, err)
+		s.metrics.countRequest("scanbatch", s.writeMatchErr(w, r, err))
 		return
 	}
+	for i, res := range results {
+		s.metrics.recordScan(res.Stats(), len(texts[i]))
+	}
+	s.metrics.countRequest("scanbatch", http.StatusOK)
 	mode := r.URL.Query().Get("mode")
 	out := scanBatchResponse{Results: make([]scanResponse, len(results))}
 	for i, res := range results {

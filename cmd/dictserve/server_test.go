@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -194,6 +196,126 @@ func TestScanClientDisconnectWritesNothing(t *testing.T) {
 	srv.ServeHTTP(rec, req)
 	if rec.Body.Len() != 0 {
 		t.Fatalf("disconnected client got a body: %q", rec.Body.String())
+	}
+}
+
+func TestWriteMatchErrMapping(t *testing.T) {
+	srv := testServer(t)
+
+	// Deadline expiry → 504, counted as a timeout.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/scan", nil)
+	if code := srv.writeMatchErr(rec, req, fmt.Errorf("wrap: %w", context.DeadlineExceeded)); code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline code = %d", code)
+	}
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("deadline status = %d", rec.Code)
+	}
+
+	// Client disconnect (dead request context) → nothing written.
+	gctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/scan", nil).WithContext(gctx)
+	if code := srv.writeMatchErr(rec, req, fmt.Errorf("wrap: %w", context.Canceled)); code != 0 {
+		t.Fatalf("disconnect code = %d", code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("disconnect wrote %q", rec.Body.String())
+	}
+
+	// A genuine engine failure with a live client → 500 with the message,
+	// never an empty 200.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest(http.MethodPost, "/scan", nil)
+	if code := srv.writeMatchErr(rec, req, errors.New("index corrupted")); code != http.StatusInternalServerError {
+		t.Fatalf("engine-failure code = %d", code)
+	}
+	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), "index corrupted") {
+		t.Fatalf("engine-failure response = %d %q", rec.Code, rec.Body.String())
+	}
+
+	if srv.metrics.timeouts.Load() != 1 || srv.metrics.cancels.Load() != 1 || srv.metrics.matchErrors.Load() != 1 {
+		t.Fatalf("outcome counters = %d/%d/%d", srv.metrics.timeouts.Load(),
+			srv.metrics.cancels.Load(), srv.metrics.matchErrors.Load())
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Drive one scan and one batch so every counter family has data.
+	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("ushers"))
+	srv.ServeHTTP(httptest.NewRecorder(), req)
+	req = httptest.NewRequest(http.MethodPost, "/scanbatch", strings.NewReader(`{"texts":["he","she"]}`))
+	srv.ServeHTTP(httptest.NewRecorder(), req)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`pardict_requests_total{endpoint="scan",code="200"} 1`,
+		`pardict_requests_total{endpoint="scanbatch",code="200"} 1`,
+		"pardict_scan_latency_seconds_bucket{le=\"+Inf\"} 2",
+		"pardict_scan_latency_seconds_count 2",
+		"pardict_scan_timeouts_total 0",
+		"pardict_engine_work_total",
+		"pardict_engine_depth_total",
+		"pardict_texts_scanned_total 3",
+		"pardict_bytes_scanned_total 11",
+		`pardict_dictionary_info{engine="general"} 1`,
+		"pardict_scheduler_phases_total",
+		"pardict_scheduler_steals_total",
+		"pardict_scheduler_parks_total",
+		"pardict_scheduler_grain_sum",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	// Engine work was accumulated from real scans.
+	if strings.Contains(body, "pardict_engine_work_total 0\n") {
+		t.Fatal("engine work not accumulated")
+	}
+	if rec2 := httptest.NewRecorder(); true {
+		srv.ServeHTTP(rec2, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+		if rec2.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("POST /metrics = %d", rec2.Code)
+		}
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	srv := testServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("ushers"))
+	srv.ServeHTTP(httptest.NewRecorder(), req)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/vars", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var vars struct {
+		Pardict struct {
+			TextsScanned int64            `json:"texts_scanned"`
+			EngineWork   int64            `json:"engine_work"`
+			Requests     map[string]int64 `json:"requests"`
+			Scheduler    struct {
+				Phases int64
+			} `json:"scheduler"`
+		} `json:"pardict"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("bad /debug/vars JSON: %v\n%s", err, rec.Body.String())
+	}
+	p := vars.Pardict
+	if p.TextsScanned != 1 || p.EngineWork == 0 || p.Requests["scan:200"] != 1 {
+		t.Fatalf("vars = %+v", p)
+	}
+	if p.Scheduler.Phases == 0 {
+		t.Fatalf("scheduler phases missing: %+v", p)
 	}
 }
 

@@ -1,0 +1,354 @@
+package pardict
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pardict/internal/ahocorasick"
+	"pardict/internal/naive"
+	"pardict/internal/workload"
+)
+
+// differential_test.go cross-checks every public engine against two
+// independent oracles — brute force (internal/naive) and the sequential
+// Aho–Corasick automaton (internal/ahocorasick) — over seeded random sweeps
+// of alphabet size, pattern count, and length distribution. The sweep sizes
+// are chosen to stay fast under -race; the fuzz targets cover the
+// adversarial tail beyond these distributions.
+
+type diffCase struct {
+	sigma  int
+	np     int
+	minLen int
+	maxLen int
+	seed   int64
+}
+
+func (c diffCase) name() string {
+	return fmt.Sprintf("sigma%d/np%d/len%d-%d", c.sigma, c.np, c.minLen, c.maxLen)
+}
+
+func diffCases() []diffCase {
+	var out []diffCase
+	seed := int64(100)
+	for _, sigma := range []int{2, 4, 26, 256} {
+		for _, shape := range []struct{ np, minLen, maxLen int }{
+			{4, 1, 6},   // tiny dictionary, short overlapping patterns
+			{24, 2, 12}, // mixed lengths
+			{48, 1, 24}, // larger set, nested prefixes likely
+			{16, 8, 8},  // equal lengths — exercises EngineEqualLength too
+		} {
+			out = append(out, diffCase{sigma, shape.np, shape.minLen, shape.maxLen, seed})
+			seed += 7
+		}
+	}
+	return out
+}
+
+// diffInputs builds the seeded dictionary and a planted text for one case,
+// in both symbol (oracle) and byte (engine) form.
+func diffInputs(c diffCase, n int) (ip [][]int32, pats [][]byte, it []int32, text []byte) {
+	ip = workload.Dictionary(c.seed, c.np, c.minLen, c.maxLen, c.sigma)
+	pats = make([][]byte, len(ip))
+	for i, p := range ip {
+		pats[i] = workload.Bytes(p)
+	}
+	it = workload.PlantedText(c.seed+1, n, c.sigma, ip, 30)
+	text = workload.Bytes(it)
+	return ip, pats, it, text
+}
+
+// diffOracle computes the longest-pattern answer with both oracles and
+// fails the test if they ever disagree with each other — that would be an
+// oracle bug, not an engine bug, and must not be silently split.
+func diffOracle(t *testing.T, ip [][]int32, it []int32) []int32 {
+	t.Helper()
+	want := naive.LongestPattern(ip, it)
+	ac, err := ahocorasick.New(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acWant := ac.LongestMatchStarting(it)
+	for j := range want {
+		if want[j] != acWant[j] {
+			t.Fatalf("oracles disagree at pos %d: naive %d, aho-corasick %d", j, want[j], acWant[j])
+		}
+	}
+	return want
+}
+
+func diffEngines(c diffCase) []struct {
+	name string
+	opts []Option
+} {
+	alphabet := make([]byte, c.sigma)
+	for i := range alphabet {
+		alphabet[i] = byte(i)
+	}
+	engines := []struct {
+		name string
+		opts []Option
+	}{
+		{"general", []Option{WithEngine(EngineGeneral)}},
+	}
+	if c.sigma <= 26 {
+		engines = append(engines,
+			struct {
+				name string
+				opts []Option
+			}{"smallalpha", []Option{WithEngine(EngineSmallAlphabet), WithAlphabet(alphabet)}},
+			struct {
+				name string
+				opts []Option
+			}{"binary", []Option{WithEngine(EngineSmallAlphabet), WithAlphabet(alphabet), WithBinaryExpansion()}},
+		)
+	}
+	if c.minLen == c.maxLen {
+		engines = append(engines, struct {
+			name string
+			opts []Option
+		}{"equallength", []Option{WithEngine(EngineEqualLength)}})
+	}
+	return engines
+}
+
+// TestDifferentialMatch sweeps every engine over the randomized cases and
+// requires the longest-match and all-matches outputs to equal both oracles
+// position by position.
+func TestDifferentialMatch(t *testing.T) {
+	for _, c := range diffCases() {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			t.Parallel()
+			ip, pats, it, text := diffInputs(c, 1<<12)
+			want := diffOracle(t, ip, it)
+			wantAll := naive.AllMatches(ip, it)
+			for _, eng := range diffEngines(c) {
+				m, err := NewMatcher(pats, eng.opts...)
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				r := m.Match(text)
+				var all []int
+				for j := range text {
+					p, ok := r.Longest(j)
+					if (want[j] >= 0) != ok || (ok && int32(p) != want[j]) {
+						t.Fatalf("%s: pos %d: got %d,%v want %d", eng.name, j, p, ok, want[j])
+					}
+					all = r.All(j, all[:0])
+					if len(all) != len(wantAll[j]) {
+						t.Fatalf("%s: pos %d: %d matches, want %d", eng.name, j, len(all), len(wantAll[j]))
+					}
+					for k, p := range all {
+						if int32(p) != wantAll[j][k] {
+							t.Fatalf("%s: pos %d rank %d: got pattern %d want %d", eng.name, j, k, p, wantAll[j][k])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBatch checks MatchBatch against the oracle on several
+// texts scanned in one pipelined call.
+func TestDifferentialBatch(t *testing.T) {
+	for _, c := range diffCases() {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			t.Parallel()
+			ip, pats, _, _ := diffInputs(c, 0)
+			m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+			if err != nil {
+				t.Fatal(err)
+			}
+			texts := make([][]byte, 6)
+			wants := make([][]int32, len(texts))
+			for i := range texts {
+				it := workload.PlantedText(c.seed+int64(10+i), 700+137*i, c.sigma, ip, 40)
+				texts[i] = workload.Bytes(it)
+				wants[i] = naive.LongestPattern(ip, it)
+			}
+			results, err := m.MatchBatch(context.Background(), texts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range results {
+				for j := range texts[i] {
+					p, ok := r.Longest(j)
+					if (wants[i][j] >= 0) != ok || (ok && int32(p) != wants[i][j]) {
+						t.Fatalf("text %d pos %d: got %d,%v want %d", i, j, p, ok, wants[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialStream feeds each case's text through a StreamMatcher in
+// seeded random chunk sizes (including empty and single-byte feeds) and
+// requires the emitted hits to equal the oracle's whole-text answer.
+func TestDifferentialStream(t *testing.T) {
+	for _, c := range diffCases() {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			t.Parallel()
+			ip, pats, it, text := diffInputs(c, 1<<11)
+			want := diffOracle(t, ip, it)
+			var wantHits []hit
+			for j, p := range want {
+				if p >= 0 {
+					wantHits = append(wantHits, hit{int64(j), int(p)})
+				}
+			}
+			m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(c.seed + 3))
+			for round := 0; round < 3; round++ {
+				var chunks []int
+				for total := 0; total < len(text); {
+					sz := rng.Intn(97) // 0 is a valid (empty) feed
+					chunks = append(chunks, sz)
+					total += sz
+				}
+				if got := collectStream(t, m, text, chunks); !sameHits(got, wantHits) {
+					t.Fatalf("round %d: stream hits diverge from oracle (%d vs %d hits)",
+						round, len(got), len(wantHits))
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDynamic drives a DynamicMatcher through seeded random
+// insert/delete interleavings and, after every few mutations, checks a full
+// match of a random text against the brute-force oracle on the live set.
+// Ids are compared by pattern content: the longest full match at a position
+// is unique by content, so oracle index and matcher id must denote equal
+// patterns.
+func TestDifferentialDynamic(t *testing.T) {
+	for _, sigma := range []int{2, 26, 256} {
+		sigma := sigma
+		t.Run(fmt.Sprintf("sigma%d", sigma), func(t *testing.T) {
+			t.Parallel()
+			const nOps, poolSize = 90, 40
+			rng := rand.New(rand.NewSource(int64(500 + sigma)))
+			pool := workload.Dictionary(int64(600+sigma), poolSize, 1, 10, sigma)
+
+			m, err := NewDynamicMatcher()
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := map[PatternID][]int32{} // id -> symbol content
+			var liveIDs []PatternID
+			inPool := map[int]PatternID{} // pool index -> live id
+
+			for op := 0; op < nOps; op++ {
+				if len(liveIDs) == 0 || rng.Intn(5) < 3 {
+					// insert a pool pattern not currently live
+					pi := rng.Intn(poolSize)
+					if _, ok := inPool[pi]; ok {
+						continue
+					}
+					id, err := m.Insert(workload.Bytes(pool[pi]))
+					if err != nil {
+						t.Fatalf("op %d insert: %v", op, err)
+					}
+					live[id] = pool[pi]
+					liveIDs = append(liveIDs, id)
+					inPool[pi] = id
+				} else {
+					// delete a random live pattern (by content)
+					k := rng.Intn(len(liveIDs))
+					id := liveIDs[k]
+					if err := m.Delete(workload.Bytes(live[id])); err != nil {
+						t.Fatalf("op %d delete: %v", op, err)
+					}
+					for pi, lid := range inPool {
+						if lid == id {
+							delete(inPool, pi)
+						}
+					}
+					delete(live, id)
+					liveIDs = append(liveIDs[:k], liveIDs[k+1:]...)
+				}
+				if m.Len() != len(live) {
+					t.Fatalf("op %d: live count %d, want %d", op, m.Len(), len(live))
+				}
+				if op%9 != 0 {
+					continue
+				}
+
+				var livePats [][]int32
+				for _, id := range liveIDs {
+					livePats = append(livePats, live[id])
+				}
+				it := workload.PlantedText(int64(op)*31+int64(sigma), 600, sigma, livePats, 60)
+				want := naive.LongestPattern(livePats, it)
+				wantPrefix, _ := naive.LongestPrefix(livePats, it)
+				r, err := m.MatchContext(context.Background(), workload.Bytes(it))
+				if err != nil {
+					t.Fatalf("op %d match: %v", op, err)
+				}
+				for j := range it {
+					id, ok := r.Longest(j)
+					if (want[j] >= 0) != ok {
+						t.Fatalf("op %d pos %d: got ok=%v want idx %d (live=%d)", op, j, ok, want[j], len(live))
+					}
+					if ok && !equalSyms(live[id], livePats[want[j]]) {
+						t.Fatalf("op %d pos %d: id %d has content %v, oracle wants %v",
+							op, j, id, live[id], livePats[want[j]])
+					}
+					if got := r.PrefixLen(j); got != int(wantPrefix[j]) {
+						t.Fatalf("op %d pos %d: prefix len %d, want %d", op, j, got, wantPrefix[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func equalSyms(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialStreamMatchesBytes pins the byte-level plumbing: a stream
+// over raw bytes (no symbol encoding round trip) against bytes.Index.
+func TestDifferentialStreamMatchesBytes(t *testing.T) {
+	t.Parallel()
+	pat := []byte("needle")
+	m, err := NewMatcher([][]byte{pat}, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	text := make([]byte, 4096)
+	for i := range text {
+		text[i] = "endl"[rng.Intn(4)]
+	}
+	copy(text[100:], pat)
+	copy(text[4000:], pat)
+	var want []hit
+	for j := 0; j+len(pat) <= len(text); j++ {
+		if bytes.Equal(text[j:j+len(pat)], pat) {
+			want = append(want, hit{int64(j), 0})
+		}
+	}
+	got := collectStream(t, m, text, []int{1, 3, 100, 5, 1000})
+	if !sameHits(got, want) {
+		t.Fatalf("stream found %d occurrences, bytes.Equal scan found %d", len(got), len(want))
+	}
+}

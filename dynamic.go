@@ -5,6 +5,7 @@ import (
 
 	"pardict/internal/alpha"
 	"pardict/internal/dynamic"
+	"pardict/internal/obs"
 )
 
 // PatternID identifies a pattern inside a DynamicMatcher. IDs are assigned
@@ -37,7 +38,12 @@ func (m *DynamicMatcher) Insert(p []byte) (PatternID, error) {
 	if err != nil {
 		return 0, err
 	}
-	id, err := m.d.Insert(m.cfg.newCtx(), e)
+	var id int32
+	obs.Do(nil, func(lctx context.Context) {
+		ctx := m.cfg.newCtx()
+		ctx.SetLabelContext(lctx)
+		id, err = m.d.Insert(ctx, e)
+	}, "engine", "dynamic", "op", "insert")
 	return PatternID(id), err
 }
 
@@ -47,7 +53,12 @@ func (m *DynamicMatcher) Delete(p []byte) error {
 	if err != nil {
 		return err
 	}
-	return m.d.Delete(m.cfg.newCtx(), e)
+	obs.Do(nil, func(lctx context.Context) {
+		ctx := m.cfg.newCtx()
+		ctx.SetLabelContext(lctx)
+		err = m.d.Delete(ctx, e)
+	}, "engine", "dynamic", "op", "delete")
+	return err
 }
 
 // Has reports whether p is currently in the dictionary.
@@ -85,11 +96,21 @@ func (m *DynamicMatcher) Match(text []byte) *DynamicMatches {
 // match has no effect on subsequent calls.
 func (m *DynamicMatcher) MatchContext(gctx context.Context, text []byte) (*DynamicMatches, error) {
 	ctx := m.cfg.newCtxFor(gctx)
-	r := m.d.Match(ctx, m.enc.Encode(text))
+	var r *dynamic.Result
+	obs.Do(gctx, func(lctx context.Context) {
+		ctx.SetLabelContext(lctx)
+		r = m.d.Match(ctx, m.enc.Encode(text))
+	}, "engine", "dynamic", "op", "match")
 	if err := canceledErr(ctx); err != nil {
 		return nil, err
 	}
 	return &DynamicMatches{pat: r.Pat, plen: r.Len, stats: statsOf(ctx)}, nil
+}
+
+// SchedulerStats snapshots the counters of the scheduler this matcher
+// executes on; see Matcher.SchedulerStats.
+func (m *DynamicMatcher) SchedulerStats() SchedulerStats {
+	return schedulerStatsOf(m.cfg.schedulerPool())
 }
 
 // Len reports the text length covered.

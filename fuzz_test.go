@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pardict/internal/ahocorasick"
+	"pardict/internal/naive"
 	"pardict/internal/workload"
 )
 
@@ -80,6 +81,156 @@ func FuzzMatchOracle(f *testing.F) {
 				if (w >= 0) != ok || (ok && int32(p) != w) {
 					t.Fatalf("engine %d pos %d: got %d,%v want %d (pats=%q text=%q)",
 						ei, j, p, ok, w, pats, text)
+				}
+			}
+		}
+	})
+}
+
+// FuzzStreamChunking is the stream-equivalence target over arbitrary
+// dictionaries AND arbitrary chunkings: input decodes as (dictionary ‖ 0xFF
+// ‖ text) like FuzzMatchOracle, plus a separate byte string whose bytes are
+// the Feed sizes (cycled; 0 is a valid empty feed). The emitted hits must
+// equal one-shot matching for every split.
+func FuzzStreamChunking(f *testing.F) {
+	f.Add([]byte("he\xfeshe\xfehis\xfehers\xffushershe"), []byte{1, 3, 0, 7})
+	f.Add([]byte("ab\xfeba\xffabbaabba"), []byte{2})
+	f.Add([]byte("aaa\xffaaaaaaaa"), []byte{1, 1, 5})
+	f.Fuzz(func(t *testing.T, data, splits []byte) {
+		sep := bytes.IndexByte(data, 0xFF)
+		if sep < 0 || len(data)-sep > 2048 {
+			return
+		}
+		seen := map[string]bool{}
+		var pats [][]byte
+		for _, p := range bytes.Split(data[:sep], []byte{0xFE}) {
+			if len(p) == 0 || len(p) > 64 || seen[string(p)] ||
+				bytes.IndexByte(p, 0xFF) >= 0 || bytes.IndexByte(p, 0xFE) >= 0 {
+				continue
+			}
+			seen[string(p)] = true
+			pats = append(pats, p)
+			if len(pats) == 12 {
+				break
+			}
+		}
+		if len(pats) == 0 {
+			return
+		}
+		text := data[sep+1:]
+		m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wholeTextHits(m, text)
+		var got []hit
+		s := m.Stream(func(pos int64, pat int) { got = append(got, hit{pos, pat}) })
+		at, si := 0, 0
+		for at < len(text) {
+			sz := 1
+			if len(splits) > 0 {
+				sz = int(splits[si%len(splits)])
+				si++
+			}
+			end := at + sz
+			if end > len(text) {
+				end = len(text)
+			}
+			if err := s.Feed(text[at:end]); err != nil {
+				t.Fatal(err)
+			}
+			at = end
+			if sz == 0 && len(splits) == 1 {
+				// a single zero split would never advance; fall back to 1
+				splits = nil
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !sameHits(got, want) {
+			t.Fatalf("chunked %v != whole %v (splits=%v)", got, want, splits)
+		}
+	})
+}
+
+// FuzzMatch2DOracle differentially tests the 2-D matcher against the brute
+// force oracle on small grids: the text is the input bytes folded to width
+// w over a 4-symbol alphabet, and the patterns are squares carved out of
+// the text itself (so full matches are guaranteed to occur), at corners and
+// sides derived from the remaining input bytes.
+func FuzzMatch2DOracle(f *testing.F) {
+	f.Add([]byte("abcdabcdabcdabcd"), byte(4), byte(0), byte(5))
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaa"), byte(5), byte(3), byte(9))
+	f.Add([]byte("xyxyxyxyxyxy"), byte(3), byte(1), byte(2))
+	f.Fuzz(func(t *testing.T, gridData []byte, w, c1, c2 byte) {
+		wd := int(w%6) + 1
+		rows := len(gridData) / wd
+		if rows == 0 {
+			return
+		}
+		if rows > 12 {
+			rows = 12
+		}
+		text := make([][]byte, rows)
+		it := make([][]int32, rows)
+		for i := range text {
+			text[i] = make([]byte, wd)
+			it[i] = make([]int32, wd)
+			for j := range text[i] {
+				v := gridData[i*wd+j] & 3
+				text[i][j] = v
+				it[i][j] = int32(v)
+			}
+		}
+
+		// Carve square patterns out of the text at input-derived corners.
+		seen := map[string]bool{}
+		var pats [][][]byte
+		var ip [][][]int32
+		for k, c := range []byte{c1, c2, c1 ^ c2, c1 + 7} {
+			side := k%3 + 1
+			if side > rows || side > wd {
+				continue
+			}
+			i := int(c>>4) % (rows - side + 1)
+			j := int(c&15) % (wd - side + 1)
+			p := make([][]byte, side)
+			e := make([][]int32, side)
+			key := make([]byte, 0, side*side)
+			for a := 0; a < side; a++ {
+				p[a] = append([]byte(nil), text[i+a][j:j+side]...)
+				e[a] = append([]int32(nil), it[i+a][j:j+side]...)
+				key = append(key, p[a]...)
+				key = append(key, 0xFF)
+			}
+			if seen[string(key)] {
+				continue
+			}
+			seen[string(key)] = true
+			pats = append(pats, p)
+			ip = append(ip, e)
+		}
+		if len(pats) == 0 {
+			return
+		}
+
+		want := naive.LargestFullMatch2D(ip, it)
+		m, err := NewMatcher2D(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Match2D(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < wd; j++ {
+				p, ok := r.Largest(i, j)
+				w := want[i][j]
+				if (w >= 0) != ok || (ok && int32(p) != w) {
+					t.Fatalf("cell (%d,%d): got %d,%v want %d (grid %dx%d, %d pats)",
+						i, j, p, ok, w, rows, wd, len(pats))
 				}
 			}
 		}

@@ -56,6 +56,7 @@ func (d *Dict) SpawnText(c *pram.Ctx, text []int32) [][]int32 {
 		if c.Canceled() {
 			break
 		}
+		c.LabelLevel(k) // attribute this level's phase in CPU profiles
 		prev := syms[k-1]
 		cur := make([]int32, n)
 		half := 1 << uint(k-1)
@@ -88,6 +89,7 @@ func (d *Dict) unwind(c *pram.Ctx, text []int32, syms [][]int32, r *Result) {
 		if c.Canceled() {
 			break
 		}
+		c.LabelLevel(k) // attribute this level's phase in CPU profiles
 		step := 1 << uint(k)
 		down := d.down[k]
 		level := syms[k]

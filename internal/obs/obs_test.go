@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("got %d", c.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Fatalf("got %d", c.Load())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 5122 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	want := []int64{2, 2, 0, 1} // ≤10: {1,10}; ≤100: {11,100}; ≤1000: none; +Inf: {5000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBounds(1, 2, 10))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(int64(g*i) % 2048)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(100, 10, 4)
+	want := []int64{100, 1000, 10000, 100000}
+	for i, w := range want {
+		if b[i] != w {
+			t.Fatalf("bounds = %v", b)
+		}
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	defer SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("default should be enabled")
+	}
+	if prev := SetEnabled(false); !prev {
+		t.Fatal("previous setting should have been true")
+	}
+	if Enabled() {
+		t.Fatal("should be disabled")
+	}
+}
+
+func TestDoAppliesLabels(t *testing.T) {
+	defer SetEnabled(true)
+	var sawEngine string
+	Do(context.Background(), func(ctx context.Context) {
+		pprof.ForLabels(ctx, func(k, v string) bool {
+			if k == "engine" {
+				sawEngine = v
+			}
+			return true
+		})
+	}, "engine", "general")
+	if sawEngine != "general" {
+		t.Fatalf("label not applied: %q", sawEngine)
+	}
+
+	// Disabled: f still runs, context passes through untouched (a nil gctx
+	// stays nil — engines give nil the "never canceled" meaning).
+	SetEnabled(false)
+	ran := false
+	Do(nil, func(ctx context.Context) {
+		ran = true
+		if ctx != nil {
+			t.Fatal("disabled Do should pass gctx through unchanged")
+		}
+	}, "engine", "general")
+	if !ran {
+		t.Fatal("f did not run while disabled")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelString(3) != "3" || LevelString(63) != "63" || LevelString(100) != "100" {
+		t.Fatal("level strings wrong")
+	}
+	if LevelString(-1) != "-1" {
+		t.Fatal("negative level")
+	}
+}

@@ -1,0 +1,153 @@
+package pram
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"testing"
+
+	"pardict/internal/obs"
+)
+
+func TestPoolStatsCountPhasesChunksGrain(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	c := NewCtx(nil, p)
+
+	before := p.Stats()
+	n := 1 << 14
+	xs := make([]int64, n)
+	c.For(n, func(i int) { xs[i]++ })
+	st := p.Stats()
+
+	if d := st.Phases - before.Phases; d != 1 {
+		t.Fatalf("phases delta = %d, want 1", d)
+	}
+	if d := st.PooledPhases - before.PooledPhases; d != 1 {
+		t.Fatalf("pooled delta = %d, want 1", d)
+	}
+	grain := p.grainFor(n)
+	wantChunks := int64((n + grain - 1) / grain)
+	if d := st.Chunks - before.Chunks; d != wantChunks {
+		t.Fatalf("chunks delta = %d, want %d", d, wantChunks)
+	}
+	if d := st.GrainSum - before.GrainSum; d != int64(grain) {
+		t.Fatalf("grain sum delta = %d, want %d", d, grain)
+	}
+	if st.Steals < 0 || st.Steals > st.Chunks {
+		t.Fatalf("steals %d out of range (chunks %d)", st.Steals, st.Chunks)
+	}
+	for i := range xs {
+		if xs[i] != 1 {
+			t.Fatalf("xs[%d] = %d", i, xs[i])
+		}
+	}
+}
+
+func TestPoolStatsInlinePhaseCountsNoPooled(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	c := NewCtx(nil, p)
+	before := p.Stats()
+	c.For(8, func(i int) {}) // below grain: inline on the submitter
+	st := p.Stats()
+	if d := st.Phases - before.Phases; d != 1 {
+		t.Fatalf("phases delta = %d, want 1", d)
+	}
+	if d := st.PooledPhases - before.PooledPhases; d != 0 {
+		t.Fatalf("pooled delta = %d, want 0", d)
+	}
+	if d := st.Chunks - before.Chunks; d != 0 {
+		t.Fatalf("chunks delta = %d, want 0", d)
+	}
+}
+
+func TestPoolStatsDisabledFreezes(t *testing.T) {
+	defer obs.SetEnabled(true)
+	p := NewPool(4)
+	defer p.Close()
+	c := NewCtx(nil, p)
+
+	obs.SetEnabled(false)
+	before := p.Stats()
+	n := 1 << 14
+	c.For(n, func(i int) {})
+	st := p.Stats()
+	if st != before {
+		t.Fatalf("stats moved while disabled: %+v -> %+v", before, st)
+	}
+	// Work/Depth accounting is independent of the obs layer.
+	if c.Work() != int64(n) || c.Depth() != 1 {
+		t.Fatalf("work=%d depth=%d", c.Work(), c.Depth())
+	}
+}
+
+func TestPoolStatsQueueOccupancy(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewCtx(nil, p)
+			for r := 0; r < 50; r++ {
+				c.For(1<<12, func(i int) {})
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.QueueMax < 1 {
+		t.Fatalf("queue max = %d, want >= 1", st.QueueMax)
+	}
+	if st.QueueSum < st.PooledPhases {
+		t.Fatalf("queue sum %d < pooled phases %d", st.QueueSum, st.PooledPhases)
+	}
+}
+
+func TestLabelLevelRefinesLabelContext(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	c := NewCtx(nil, p)
+	c.SetLabelContext(pprof.WithLabels(context.Background(), pprof.Labels("engine", "test")))
+	c.LabelLevel(5)
+	defer pprof.SetGoroutineLabels(context.Background())
+
+	lp := c.labelCtx.Load()
+	if lp == nil {
+		t.Fatal("label ctx not stored")
+	}
+	got := map[string]string{}
+	pprof.ForLabels(*lp, func(k, v string) bool { got[k] = v; return true })
+	if got["engine"] != "test" || got["level"] != "5" {
+		t.Fatalf("labels = %v", got)
+	}
+	// A later level overwrites, keeping the engine label.
+	c.LabelLevel(2)
+	got = map[string]string{}
+	pprof.ForLabels(*c.labelCtx.Load(), func(k, v string) bool { got[k] = v; return true })
+	if got["engine"] != "test" || got["level"] != "2" {
+		t.Fatalf("labels after relevel = %v", got)
+	}
+	// Phases still run correctly with a label context set (workers re-apply
+	// the labels before helping).
+	n := 1 << 14
+	xs := make([]int64, n)
+	c.For(n, func(i int) { xs[i]++ })
+	for i := range xs {
+		if xs[i] != 1 {
+			t.Fatalf("xs[%d] = %d", i, xs[i])
+		}
+	}
+}
+
+func TestLabelLevelNoOpWithoutContext(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	c := NewCtx(nil, p)
+	c.LabelLevel(3) // must not panic or set labels
+	if c.labelCtx.Load() != nil {
+		t.Fatal("label ctx set without SetLabelContext")
+	}
+}

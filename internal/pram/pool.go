@@ -2,8 +2,11 @@ package pram
 
 import (
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+
+	"pardict/internal/obs"
 )
 
 // Pool is a persistent work-stealing scheduler for bulk-synchronous parallel
@@ -34,6 +37,62 @@ type Pool struct {
 	cond   *sync.Cond
 	active []*phase // phases that may still have unclaimed chunks
 	closed bool
+
+	// Scheduler observability (see PoolStats). The atomic counters are
+	// updated off the mutex: once per phase by the submitter, once per
+	// participant per phase on the way out of participate (aggregated
+	// locally first, so per-chunk claims stay counter-free). The queue and
+	// park fields piggyback on sections that already hold mu. All updates
+	// are gated on obs.Enabled at phase (or park) granularity.
+	phases   atomic.Int64 // parallel phases issued through ForChunk
+	pooled   atomic.Int64 // phases fanned out to the worker pool
+	chunks   atomic.Int64 // chunks executed by pooled phases
+	steals   atomic.Int64 // chunks claimed outside the claimant's own span
+	grainSum atomic.Int64 // sum of chosen grains, one sample per phase
+	parks    int64        // worker park events (under mu)
+	unparks  int64        // worker wake events (under mu)
+	queueSum int64        // sum of active-phase counts sampled at submit (under mu)
+	queueMax int64        // peak active-phase count at submit (under mu)
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's scheduler counters. All
+// fields are cumulative since the pool was created; consumers take deltas.
+// Phases counts every parallel phase issued through a Ctx on this pool
+// (including short ones executed inline by the submitter); PooledPhases the
+// subset fanned out to the workers. GrainSum accumulates one chosen-grain
+// sample per phase, so GrainSum/Phases is the mean grain. QueueSum/QueueMax
+// sample the number of concurrently active phases at each submit — the
+// scheduler's queue occupancy under MatchBatch-style pipelining.
+type PoolStats struct {
+	Phases       int64
+	PooledPhases int64
+	Chunks       int64
+	Steals       int64
+	Parks        int64
+	Unparks      int64
+	GrainSum     int64
+	QueueSum     int64
+	QueueMax     int64
+}
+
+// Stats snapshots the pool's scheduler counters. It is cheap enough to call
+// per scrape (a handful of atomic loads plus one mutex acquisition) and safe
+// at any time, including while phases are in flight.
+func (p *Pool) Stats() PoolStats {
+	s := PoolStats{
+		Phases:       p.phases.Load(),
+		PooledPhases: p.pooled.Load(),
+		Chunks:       p.chunks.Load(),
+		Steals:       p.steals.Load(),
+		GrainSum:     p.grainSum.Load(),
+	}
+	p.mu.Lock()
+	s.Parks = p.parks
+	s.Unparks = p.unparks
+	s.QueueSum = p.queueSum
+	s.QueueMax = p.queueMax
+	p.mu.Unlock()
+	return s
 }
 
 // NewPool returns a pool of the given width; procs <= 0 selects
@@ -116,6 +175,7 @@ type phase struct {
 	grain int
 	body  func(lo, hi int)
 	owner *Ctx // polled for cancellation at chunk granularity
+	track bool // obs was enabled at submit; participants flush counters
 
 	spans     []span
 	remaining atomic.Int64 // chunks not yet retired; 0 ⇒ barrier reached
@@ -157,6 +217,10 @@ func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
 		slots = chunks
 	}
 	ph := &phase{n: n, grain: grain, body: body, owner: c, done: make(chan struct{})}
+	ph.track = obs.Enabled()
+	if ph.track {
+		p.pooled.Add(1)
+	}
 	ph.remaining.Store(int64(chunks))
 	ph.spans = make([]span, slots)
 	per, extra := chunks/slots, chunks%slots
@@ -179,6 +243,13 @@ func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
 	if slots > 1 {
 		p.mu.Lock()
 		p.active = append(p.active, ph)
+		if ph.track {
+			occ := int64(len(p.active))
+			p.queueSum += occ
+			if occ > p.queueMax {
+				p.queueMax = occ
+			}
+		}
 		p.mu.Unlock()
 		for s := 1; s < slots; s++ {
 			p.cond.Signal()
@@ -195,14 +266,30 @@ func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
 func (p *Pool) participate(ph *phase, slot int) {
 	ns := len(ph.spans)
 	own := slot % ns
+	// Chunk and steal counts are aggregated locally and flushed with two
+	// atomic adds on the way out, so the per-chunk claim path carries no
+	// shared-counter traffic.
+	var chunks, steals int64
+	defer func() {
+		if ph.track && chunks > 0 {
+			p.chunks.Add(chunks)
+			p.steals.Add(steals)
+		}
+	}()
 	for {
+		stolen := false
 		lo := ph.spans[own].claim(ph.grain)
 		for d := 1; lo < 0 && d < ns; d++ {
 			lo = ph.spans[(own+d)%ns].claim(ph.grain)
+			stolen = lo >= 0
 		}
 		if lo < 0 {
 			p.detach(ph)
 			return
+		}
+		chunks++
+		if stolen {
+			steals++
 		}
 		hi := lo + ph.grain
 		if hi > ph.n {
@@ -240,7 +327,13 @@ func (p *Pool) worker(id int) {
 	for {
 		p.mu.Lock()
 		for !p.closed && len(p.active) == 0 {
+			if obs.Enabled() {
+				p.parks++
+			}
 			p.cond.Wait()
+			if obs.Enabled() {
+				p.unparks++
+			}
 		}
 		if len(p.active) == 0 { // closed and drained
 			p.mu.Unlock()
@@ -248,6 +341,13 @@ func (p *Pool) worker(id int) {
 		}
 		ph := p.active[id%len(p.active)]
 		p.mu.Unlock()
+		// Inherit the submitter's pprof labels (engine, cascade level) so
+		// profiles attribute worker time to the operation being helped.
+		// Labels are only ever set when obs is enabled; a worker keeps its
+		// last labels while parked, which costs no CPU samples.
+		if lp := ph.owner.labelCtx.Load(); lp != nil {
+			pprof.SetGoroutineLabels(*lp)
+		}
 		p.participate(ph, id)
 	}
 }

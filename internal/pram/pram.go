@@ -28,8 +28,11 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+
+	"pardict/internal/obs"
 )
 
 // ErrCanceled is reported by Ctx.Err once the context carried by the Ctx has
@@ -48,6 +51,14 @@ type Ctx struct {
 
 	work  atomic.Int64
 	depth atomic.Int64
+
+	// labelCtx carries the pprof-labeled context of the operation this Ctx
+	// executes (engine=…, level=…), set by the engine wrappers via
+	// SetLabelContext and refined per cascade level via LabelLevel. Pool
+	// workers re-apply it so profiles attribute their chunk time to the
+	// operation; nil (the default, and always when obs is disabled) makes
+	// labeling a single pointer-load no-op.
+	labelCtx atomic.Pointer[context.Context]
 }
 
 // New returns a Ctx that runs parallel phases on the process-wide shared pool
@@ -73,6 +84,33 @@ func NewCtx(gctx context.Context, pool *Pool) *Ctx {
 
 // Pool returns the scheduler this context submits phases to.
 func (c *Ctx) Pool() *Pool { return c.pool }
+
+// SetLabelContext records a pprof-labeled context for this execution. Pool
+// workers helping its phases apply the labels to themselves, so CPU profiles
+// attribute their time alongside the submitter's. Engines call this once per
+// operation with the context produced by obs.Do; passing a context with no
+// labels is harmless.
+func (c *Ctx) SetLabelContext(lctx context.Context) {
+	if lctx == nil {
+		return
+	}
+	c.labelCtx.Store(&lctx)
+}
+
+// LabelLevel refines the execution's pprof labels with the current cascade
+// level (the k of the paper's O(log m) shrink-and-spawn levels) so profiles
+// split engine time per level. It is a no-op unless SetLabelContext was
+// called (i.e. obs is enabled and the engine opted in); then it relabels the
+// calling goroutine and the phases submitted afterwards.
+func (c *Ctx) LabelLevel(k int) {
+	lp := c.labelCtx.Load()
+	if lp == nil {
+		return
+	}
+	lctx := pprof.WithLabels(*lp, pprof.Labels("level", obs.LevelString(k)))
+	c.labelCtx.Store(&lctx)
+	pprof.SetGoroutineLabels(lctx)
+}
 
 // Procs reports the worker-pool width this context fans out to.
 func (c *Ctx) Procs() int { return c.pool.procs }
@@ -161,6 +199,10 @@ func (c *Ctx) ForChunk(n int, body func(lo, hi int)) {
 	c.work.Add(int64(n))
 	c.depth.Add(1)
 	grain := c.pool.grainFor(n)
+	if obs.Enabled() {
+		c.pool.phases.Add(1)
+		c.pool.grainSum.Add(int64(grain))
+	}
 	if n <= grain {
 		if !c.Canceled() {
 			body(0, n)

@@ -8,6 +8,7 @@ import (
 	"pardict/internal/alpha"
 	"pardict/internal/core"
 	"pardict/internal/multimatch"
+	"pardict/internal/obs"
 	"pardict/internal/pram"
 	"pardict/internal/smallalpha"
 	"pardict/internal/trie"
@@ -76,34 +77,38 @@ func NewMatcher(patterns [][]byte, opts ...Option) (*Matcher, error) {
 	}
 
 	ctx := cfg.newCtx()
-	switch m.engine {
-	case EngineGeneral:
-		m.general, err = core.Preprocess(ctx, m.encoded)
-	case EngineSmallAlphabet:
-		l := cfg.collapse
-		if cfg.binary {
-			bits := alpha.BitsFor(enc.Size())
-			if l == 0 {
-				l = autoCollapseBinary(m.maxLen, bits)
+	obs.Do(nil, func(lctx context.Context) {
+		ctx.SetLabelContext(lctx)
+		switch m.engine {
+		case EngineGeneral:
+			m.general, err = core.Preprocess(ctx, m.encoded)
+		case EngineSmallAlphabet:
+			l := cfg.collapse
+			if cfg.binary {
+				bits := alpha.BitsFor(enc.Size())
+				if l == 0 {
+					l = autoCollapseBinary(m.maxLen, bits)
+				}
+				m.binary, err = smallalpha.NewBinary(ctx, m.encoded, enc.Size(), l)
+			} else {
+				if l == 0 {
+					l = autoCollapse(m.maxLen, enc.Size())
+				}
+				m.small, err = smallalpha.New(ctx, m.encoded, enc.Size(), l)
 			}
-			m.binary, err = smallalpha.NewBinary(ctx, m.encoded, enc.Size(), l)
-		} else {
-			if l == 0 {
-				l = autoCollapse(m.maxLen, enc.Size())
+		case EngineEqualLength:
+			if !equalLen {
+				err = multimatch.ErrUnequalLengths
+				return
 			}
-			m.small, err = smallalpha.New(ctx, m.encoded, enc.Size(), l)
+			m.equal, err = multimatch.New(ctx, m.encoded)
+			if err == nil {
+				err = rejectDuplicates(m.encoded)
+			}
+		default:
+			err = fmt.Errorf("pardict: unknown engine %v", m.engine)
 		}
-	case EngineEqualLength:
-		if !equalLen {
-			return nil, multimatch.ErrUnequalLengths
-		}
-		m.equal, err = multimatch.New(ctx, m.encoded)
-		if err == nil {
-			err = rejectDuplicates(m.encoded)
-		}
-	default:
-		err = fmt.Errorf("pardict: unknown engine %v", m.engine)
-	}
+	}, "engine", m.engine.String(), "op", "build")
 	if err != nil {
 		return nil, err
 	}
@@ -201,11 +206,22 @@ func (m *Matcher) Match(text []byte) *Matches {
 // matches on the same pool are unaffected.
 func (m *Matcher) MatchContext(gctx context.Context, text []byte) (*Matches, error) {
 	ctx := m.cfg.newCtxFor(gctx)
-	out := m.matchOn(ctx, text)
+	var out *Matches
+	obs.Do(gctx, func(lctx context.Context) {
+		ctx.SetLabelContext(lctx)
+		out = m.matchOn(ctx, text)
+	}, "engine", m.engine.String(), "op", "match")
 	if err := canceledErr(ctx); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// SchedulerStats snapshots the counters of the scheduler this matcher
+// executes on (the shared pool of its configured parallelism, or the
+// WithPool-supplied one). Matchers on the same pool share these counters.
+func (m *Matcher) SchedulerStats() SchedulerStats {
+	return schedulerStatsOf(m.cfg.schedulerPool())
 }
 
 // matchOn runs the configured engine over text on an already-bound execution
@@ -267,7 +283,11 @@ func (m *Matcher) MatchBatch(gctx context.Context, texts [][]byte) ([]*Matches, 
 			defer wg.Done()
 			defer func() { <-sem }()
 			ctx := m.cfg.newCtxFor(gctx)
-			r := m.matchOn(ctx, t)
+			var r *Matches
+			obs.Do(gctx, func(lctx context.Context) {
+				ctx.SetLabelContext(lctx)
+				r = m.matchOn(ctx, t)
+			}, "engine", m.engine.String(), "op", "batch")
 			if err := canceledErr(ctx); err != nil {
 				mu.Lock()
 				if firstErr == nil {

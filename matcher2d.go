@@ -6,6 +6,7 @@ import (
 	"pardict/internal/alpha"
 	"pardict/internal/dict2d"
 	"pardict/internal/dict3d"
+	"pardict/internal/obs"
 )
 
 // Matcher2D is a preprocessed dictionary of square byte patterns of possibly
@@ -74,7 +75,12 @@ func (m *Matcher2D) Match2DContext(gctx context.Context, text [][]byte) (*Matche
 	for i, row := range text {
 		enc[i] = m.enc.Encode(row)
 	}
-	r, err := m.d.Match(ctx, enc)
+	var r *dict2d.Result
+	var err error
+	obs.Do(gctx, func(lctx context.Context) {
+		ctx.SetLabelContext(lctx)
+		r, err = m.d.Match(ctx, enc)
+	}, "engine", "2d", "op", "match")
 	if err != nil {
 		return nil, err
 	}
@@ -82,6 +88,12 @@ func (m *Matcher2D) Match2DContext(gctx context.Context, text [][]byte) (*Matche
 		return nil, err
 	}
 	return &Matches2D{m: m, r2d: r, pat: r.Pat, side: r.Side, stats: statsOf(ctx)}, nil
+}
+
+// SchedulerStats snapshots the counters of the scheduler this matcher
+// executes on; see Matcher.SchedulerStats.
+func (m *Matcher2D) SchedulerStats() SchedulerStats {
+	return schedulerStatsOf(m.cfg.schedulerPool())
 }
 
 // Largest returns the index of the largest pattern cornered at (i, j) and
@@ -171,7 +183,12 @@ func (m *Matcher3D) Match3DContext(gctx context.Context, text [][][]byte) ([][][
 			enc[z][y] = m.enc.Encode(row)
 		}
 	}
-	r, err := m.d.Match(ctx, enc)
+	var r *dict3d.Result
+	var err error
+	obs.Do(gctx, func(lctx context.Context) {
+		ctx.SetLabelContext(lctx)
+		r, err = m.d.Match(ctx, enc)
+	}, "engine", "3d", "op", "match")
 	if err != nil {
 		return nil, err
 	}

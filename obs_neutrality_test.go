@@ -1,0 +1,93 @@
+package pardict
+
+import (
+	"testing"
+
+	"pardict/internal/core"
+	"pardict/internal/obs"
+	"pardict/internal/pram"
+	"pardict/internal/workload"
+)
+
+// TestObsNeutralityWorkDepth proves the observability layer is free at the
+// cost-model level: the Work/Depth counters of the E1 m-sweep are identical
+// with obs enabled and disabled. Work/Depth are charged by the pram layer
+// per element operation and per dependent phase, independent of scheduling
+// and of the obs counters, so any divergence here means instrumentation
+// leaked into the cost model.
+//
+// Not parallel: obs.SetEnabled is process-global.
+func TestObsNeutralityWorkDepth(t *testing.T) {
+	type point struct {
+		M           int
+		Work, Depth int64
+	}
+	sweep := func() []point {
+		var out []point
+		for _, m := range []int{16, 64, 256} {
+			np := (1 << 10) / m * 2
+			if np < 2 {
+				np = 2
+			}
+			pats := workload.Dictionary(1, np, m/2, m, 8)
+			text := workload.PlantedText(2, 1<<12, 8, pats, 20)
+			c := pram.New(0)
+			d, err := core.Preprocess(c, pats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.ResetStats()
+			d.Match(c, text)
+			out = append(out, point{m, c.Work(), c.Depth()})
+		}
+		return out
+	}
+
+	enabled := sweep()
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	disabled := sweep()
+
+	for i := range enabled {
+		if enabled[i] != disabled[i] {
+			t.Fatalf("m=%d: obs enabled (work=%d depth=%d) vs disabled (work=%d depth=%d)",
+				enabled[i].M, enabled[i].Work, enabled[i].Depth,
+				disabled[i].Work, disabled[i].Depth)
+		}
+	}
+}
+
+// TestObsNeutralityPublicAPI repeats the neutrality check through the public
+// Matcher: build stats and match stats must be byte-identical with obs on
+// and off, and the match output itself must not change.
+func TestObsNeutralityPublicAPI(t *testing.T) {
+	run := func() (Stats, Stats, int) {
+		ip := workload.Dictionary(11, 32, 2, 16, 8)
+		pats := make([][]byte, len(ip))
+		for i, p := range ip {
+			pats[i] = workload.Bytes(p)
+		}
+		text := workload.Bytes(workload.PlantedText(12, 1<<12, 8, ip, 30))
+		m, err := NewMatcher(pats, WithEngine(EngineGeneral))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := m.Match(text)
+		return m.BuildStats(), r.Stats(), r.Count()
+	}
+
+	b1, s1, c1 := run()
+	prev := obs.SetEnabled(false)
+	defer obs.SetEnabled(prev)
+	b2, s2, c2 := run()
+
+	if b1 != b2 {
+		t.Fatalf("build stats diverge: enabled %+v, disabled %+v", b1, b2)
+	}
+	if s1 != s2 {
+		t.Fatalf("match stats diverge: enabled %+v, disabled %+v", s1, s2)
+	}
+	if c1 != c2 {
+		t.Fatalf("match count diverges: enabled %d, disabled %d", c1, c2)
+	}
+}

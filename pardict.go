@@ -147,6 +147,16 @@ func buildConfig(opts []Option) *config {
 
 func (c *config) newCtx() *pram.Ctx { return c.newCtxFor(nil) }
 
+// schedulerPool resolves the scheduler the configured matcher executes on:
+// the WithPool-supplied one, else the process-wide shared pool of the
+// configured width.
+func (c *config) schedulerPool() *pram.Pool {
+	if c.pool != nil {
+		return c.pool.p
+	}
+	return pram.Shared(c.procs)
+}
+
 // newCtxFor binds one operation's execution context: the configured scheduler
 // plus the caller's cancellation context (nil means "never canceled").
 func (c *config) newCtxFor(gctx context.Context) *pram.Ctx {

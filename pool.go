@@ -30,6 +30,76 @@ func NewPool(procs int) *Pool {
 // single phase it runs).
 func (p *Pool) Procs() int { return p.p.Procs() }
 
+// Stats snapshots the pool's scheduler counters (see SchedulerStats). Safe
+// at any time, including while matches are in flight.
+func (p *Pool) Stats() SchedulerStats { return schedulerStatsOf(p.p) }
+
 // Close releases the pool's workers once in-flight operations drain. No
 // operation may be started on a matcher bound to p after Close.
 func (p *Pool) Close() { p.p.Close() }
+
+// SchedulerStats is a cumulative snapshot of a scheduler's observability
+// counters — the execution-layer companion to the per-operation Stats
+// (Work/Depth). All counts are since pool creation; consumers take deltas.
+//
+//   - Phases: parallel phases issued (every bulk step of every operation,
+//     including short phases executed inline by the submitting goroutine).
+//   - PooledPhases: the subset fanned out to the worker pool.
+//   - Chunks: grain-sized chunks executed by pooled phases.
+//   - Steals: chunks a participant claimed outside its own span — the
+//     work-stealing traffic that keeps skewed phases load-balanced.
+//   - Parks / Unparks: worker sleep and wake transitions between phases.
+//   - GrainSum: sum of the adaptive grain chosen per phase; GrainSum/Phases
+//     is the mean grain.
+//   - QueueSum / QueueMax: active-phase occupancy sampled at each pooled
+//     submit (mean = QueueSum/PooledPhases) and its peak — how deeply
+//     concurrent operations (e.g. MatchBatch pipelining) overlap.
+//
+// Collection is an independent layer: none of these counters feed back into
+// scheduling, and the Work/Depth accounting of Stats is byte-identical
+// whether or not the layer is active (the metrics-neutrality test in the
+// repository proves this).
+type SchedulerStats struct {
+	Phases       int64
+	PooledPhases int64
+	Chunks       int64
+	Steals       int64
+	Parks        int64
+	Unparks      int64
+	GrainSum     int64
+	QueueSum     int64
+	QueueMax     int64
+}
+
+// MeanGrain reports the average chunk grain per phase, or 0 before any phase
+// ran.
+func (s SchedulerStats) MeanGrain() float64 {
+	if s.Phases == 0 {
+		return 0
+	}
+	return float64(s.GrainSum) / float64(s.Phases)
+}
+
+// MeanQueue reports the average number of simultaneously active phases
+// observed at submit time, or 0 before any pooled phase ran.
+func (s SchedulerStats) MeanQueue() float64 {
+	if s.PooledPhases == 0 {
+		return 0
+	}
+	return float64(s.QueueSum) / float64(s.PooledPhases)
+}
+
+func schedulerStatsOf(p *pram.Pool) SchedulerStats {
+	st := p.Stats()
+	return SchedulerStats{
+		Phases:       st.Phases,
+		PooledPhases: st.PooledPhases,
+		Chunks:       st.Chunks,
+		Steals:       st.Steals,
+		Parks:        st.Parks,
+		Unparks:      st.Unparks,
+		GrainSum:     st.GrainSum,
+		QueueSum:     st.QueueSum,
+		QueueMax:     st.QueueMax,
+	}
+}

@@ -3,6 +3,8 @@ package pardict
 import (
 	"context"
 	"io"
+
+	"pardict/internal/obs"
 )
 
 // StreamMatcher scans an unbounded input incrementally: feed it chunks of
@@ -50,7 +52,11 @@ func (s *StreamMatcher) FeedContext(gctx context.Context, chunk []byte) error {
 		return nil
 	}
 	final := len(s.carry) - hold // positions [0, final) are finalized
-	r, err := s.m.MatchContext(gctx, s.carry)
+	var r *Matches
+	var err error
+	obs.Do(gctx, func(lctx context.Context) {
+		r, err = s.m.MatchContext(lctx, s.carry)
+	}, "op", "stream")
 	if err != nil {
 		return err
 	}
@@ -95,7 +101,11 @@ func (s *StreamMatcher) CloseContext(gctx context.Context) error {
 		s.closed = true
 		return nil
 	}
-	r, err := s.m.MatchContext(gctx, s.carry)
+	var r *Matches
+	var err error
+	obs.Do(gctx, func(lctx context.Context) {
+		r, err = s.m.MatchContext(lctx, s.carry)
+	}, "op", "stream")
 	if err != nil {
 		return err
 	}
