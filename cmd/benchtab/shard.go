@@ -1,0 +1,343 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pardict"
+)
+
+var shardOut = flag.String("shardout", "BENCH_shard.json",
+	"where E14 writes its serving comparison (empty = don't write)")
+
+// serveVariant abstracts one way of serving scans while the dictionary
+// mutates: the sharded RCU matcher, a single dynamic matcher behind an
+// RWMutex (writers exclude all readers), and the naive
+// recompile-the-whole-dictionary-per-mutation baseline.
+type serveVariant struct {
+	name   string
+	shards int // 0 for the non-sharded baselines
+	scan   func(text []byte)
+	mutate func(insert bool, p []byte)
+	close  func()
+
+	// Per-scan PRAM cost, accumulated by scan. Depth is the per-scan
+	// critical path: on a machine with P ≥ S processors the scatter-gather
+	// fan-out rides free, so flat depth in S is the scaling claim the
+	// 1-core wall clock cannot show directly.
+	work, depth atomic.Int64
+}
+
+func shardedVariant(base [][]byte, shards int) *serveVariant {
+	m, err := pardict.NewShardedMatcher(pardict.WithShards(shards))
+	check(err)
+	check(m.Reload(base))
+	v := &serveVariant{
+		name:   fmt.Sprintf("sharded-S%d", shards),
+		shards: shards,
+		mutate: func(insert bool, p []byte) {
+			if insert {
+				_, err := m.Insert(p)
+				check(err)
+			} else {
+				check(m.Delete(p))
+			}
+		},
+		close: m.Close,
+	}
+	v.scan = func(text []byte) {
+		st := m.Match(text).Stats()
+		v.work.Add(st.Work)
+		v.depth.Add(st.Depth)
+	}
+	return v
+}
+
+func dynamicRWVariant(base [][]byte) *serveVariant {
+	m, err := pardict.NewDynamicMatcher()
+	check(err)
+	for _, p := range base {
+		_, err := m.Insert(p)
+		check(err)
+	}
+	var mu sync.RWMutex
+	v := &serveVariant{
+		name: "dynamic-rwmutex",
+		mutate: func(insert bool, p []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if insert {
+				_, err := m.Insert(p)
+				check(err)
+			} else {
+				check(m.Delete(p))
+			}
+		},
+		close: func() {},
+	}
+	v.scan = func(text []byte) {
+		mu.RLock()
+		st := m.Match(text).Stats()
+		mu.RUnlock()
+		v.work.Add(st.Work)
+		v.depth.Add(st.Depth)
+	}
+	return v
+}
+
+func rebuildWorldVariant(base [][]byte) *serveVariant {
+	build := func(pats [][]byte) *pardict.Matcher {
+		m, err := pardict.NewMatcher(pats, pardict.WithEngine(pardict.EngineGeneral))
+		check(err)
+		return m
+	}
+	live := append([][]byte(nil), base...)
+	cur := build(live)
+	var mu sync.RWMutex
+	v := &serveVariant{
+		name: "rebuild-world",
+		mutate: func(insert bool, p []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if insert {
+				live = append(live, p)
+			} else {
+				for i := range live {
+					if string(live[i]) == string(p) {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			cur = build(live)
+		},
+		close: func() {},
+	}
+	v.scan = func(text []byte) {
+		mu.RLock()
+		st := cur.Match(text).Stats()
+		mu.RUnlock()
+		v.work.Add(st.Work)
+		v.depth.Add(st.Depth)
+	}
+	return v
+}
+
+// shardPoint is one (variant, write-rate) cell of the E14 comparison.
+type shardPoint struct {
+	Variant     string  `json:"variant"`
+	Shards      int     `json:"shards,omitempty"`
+	Readers     int     `json:"readers"`
+	Writers     int     `json:"writers"`
+	WriteDelay  string  `json:"write_delay"` // per-writer pause between mutations
+	Scans       int64   `json:"scans"`
+	Mutations   int64   `json:"mutations"`
+	ScansPerSec float64 `json:"scans_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+
+	// Mean instrumented PRAM cost per scan. Work grows with S (every shard
+	// walks the text) but Depth — the critical path — stays near-flat, so
+	// with P ≥ S processors the model predicts the fan-out rides free; the
+	// single-core wall clock above instead pays the full Work serially.
+	MeanScanWork  float64 `json:"mean_scan_work"`
+	MeanScanDepth float64 `json:"mean_scan_depth"`
+}
+
+type shardReport struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Quick      bool         `json:"quick"`
+	BaseDict   int          `json:"base_dict"`
+	TextLen    int          `json:"text_len"`
+	DurationMs int64        `json:"duration_ms"`
+	Points     []shardPoint `json:"points"`
+}
+
+// e14: the serving ablation behind the sharded subsystem — scan throughput,
+// tail latency, and instrumented PRAM cost under a concurrent insert/delete
+// stream, sweeping the shard count S and the write rate. The scaling claim
+// is read through the same lens as E1–E12: scatter-gather adds ~S× Work per
+// scan but leaves Depth (the critical path) near-flat, so with P ≥ S
+// processors the fan-out is free; a single-core wall clock pays the Work
+// serially instead. What the wall clock does show, even on one core, is the
+// availability claim: RCU readers never block on writers, so the sharded
+// p99 stays near its read-only level under churn, while the RWMutex'd
+// dynamic matcher convoys readers behind every write and the
+// rebuild-the-world baseline stalls everything for a full compile per
+// mutation.
+func e14() {
+	header("E14", "Serving: sharded RCU snapshots vs locked dynamic vs rebuild-the-world under writes")
+
+	const textLen = 4096
+	baseDict := scale(1024, 256)
+	dur := time.Duration(scale(int(600*time.Millisecond), int(200*time.Millisecond)))
+
+	base := make([][]byte, baseDict)
+	for i := range base {
+		base[i] = []byte(fmt.Sprintf("pat-%05d-%05d", i, i*7919%99991))
+	}
+	text := make([]byte, textLen)
+	for i := range text {
+		text[i] = byte('a' + (i*131+i/7)%26)
+	}
+
+	readers := runtime.GOMAXPROCS(0)
+	if readers > 8 {
+		readers = 8
+	}
+	if readers < 2 {
+		readers = 2
+	}
+	const writers = 4
+
+	report := shardReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Quick: *quick,
+		BaseDict: baseDict, TextLen: textLen, DurationMs: dur.Milliseconds(),
+	}
+	fmt.Printf("%18s %7s %7s %11s %10s %9s %9s %9s %12s %10s\n",
+		"variant", "readers", "writers", "write-delay", "scans/s", "p50 µs", "p99 µs", "muts", "work/scan", "depth/scan")
+
+	rates := []struct {
+		writers int
+		delay   time.Duration // per-writer pause between mutations; 0 = unthrottled
+	}{
+		{0, 0},                          // read-only: the scatter-gather overhead floor
+		{writers, 1 * time.Millisecond}, // moderate churn
+		{writers, 0},                    // saturating churn: rebuild/overlay cost dominates
+	}
+	for _, rate := range rates {
+		variants := []*serveVariant{
+			shardedVariant(base, 1),
+			shardedVariant(base, 2),
+			shardedVariant(base, 4),
+			shardedVariant(base, 8),
+			dynamicRWVariant(base),
+		}
+		// The rebuild baseline recompiles the whole dictionary per mutation;
+		// without writes it is just another static matcher, so only run it
+		// where it differs.
+		if rate.writers > 0 {
+			variants = append(variants, rebuildWorldVariant(base))
+		}
+		for _, v := range variants {
+			p := runServePoint(v, text, readers, rate.writers, rate.delay, dur)
+			report.Points = append(report.Points, p)
+			row("%18s %7d %7d %11s %10.0f %9.0f %9.0f %9d %12.0f %10.0f",
+				p.Variant, p.Readers, p.Writers, p.WriteDelay,
+				p.ScansPerSec, p.P50Us, p.P99Us, p.Mutations,
+				p.MeanScanWork, p.MeanScanDepth)
+			v.close()
+		}
+	}
+	fmt.Println("shape check: scan depth stays near-flat in S while work grows ~S× — with P ≥ S")
+	fmt.Println("processors the scatter-gather fan-out rides free (on this single-core wall")
+	fmt.Println("clock the full work is paid serially, so read-only scans/s falls with S).")
+	fmt.Println("Under churn the sharded p99 stays near its read-only level (readers never")
+	fmt.Println("block on writers); dynamic-rwmutex and rebuild-world pay lock-convoy and")
+	fmt.Println("whole-dictionary-recompile stalls in their p99. Writers are closed-loop, so")
+	fmt.Println("the mutations column is sustained write throughput, not a controlled rate —")
+	fmt.Println("and it scales with S (per-shard logs and 1/S-sized rebuilds) where the")
+	fmt.Println("locked baselines flatten.")
+
+	if *shardOut == "" {
+		return
+	}
+	f, err := os.Create(*shardOut)
+	check(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(report))
+	check(f.Close())
+	fmt.Printf("wrote %s\n", *shardOut)
+}
+
+// runServePoint drives readers scanning in a closed loop and writers issuing
+// an insert+delete churn (each writer owns a disjoint key space, so mutations
+// never conflict) for dur, then reduces the per-scan latencies.
+func runServePoint(v *serveVariant, text []byte, readers, writers int, writeDelay time.Duration, dur time.Duration) shardPoint {
+	var stop atomic.Bool
+	var scans, mutations atomic.Int64
+	lats := make([][]time.Duration, readers)
+	var wg sync.WaitGroup
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var own []time.Duration
+			for !stop.Load() {
+				t0 := time.Now()
+				v.scan(text)
+				own = append(own, time.Since(t0))
+				scans.Add(1)
+			}
+			lats[r] = own
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				p := []byte(fmt.Sprintf("live-%d-%d", w, i))
+				v.mutate(true, p)
+				mutations.Add(1)
+				if writeDelay > 0 {
+					time.Sleep(writeDelay)
+				}
+				if stop.Load() {
+					// Leave the pattern in; the run is over.
+					return
+				}
+				v.mutate(false, p)
+				mutations.Add(1)
+				if writeDelay > 0 {
+					time.Sleep(writeDelay)
+				}
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	p := shardPoint{
+		Variant:     v.name,
+		Shards:      v.shards,
+		Readers:     readers,
+		Writers:     writers,
+		WriteDelay:  writeDelay.String(),
+		Scans:       scans.Load(),
+		Mutations:   mutations.Load(),
+		ScansPerSec: float64(scans.Load()) / elapsed.Seconds(),
+		P50Us:       pct(0.50),
+		P99Us:       pct(0.99),
+	}
+	if n := scans.Load(); n > 0 {
+		p.MeanScanWork = float64(v.work.Load()) / float64(n)
+		p.MeanScanDepth = float64(v.depth.Load()) / float64(n)
+	}
+	return p
+}

@@ -1,34 +1,51 @@
-// Command dictserve exposes a dictionary matcher as an HTTP service: load a
-// dictionary (plain or compiled) at startup, then POST text to /scan.
+// Command dictserve exposes a sharded, online-updatable dictionary matcher
+// as an HTTP service: optionally seed a dictionary (plain or compiled) at
+// startup, then POST text to /scan and mutate the pattern set live.
 //
 // Endpoints:
 //
-//	POST /scan            body = text; response = JSON match list
-//	POST /scan?mode=count body = text; response = {"count": N}
-//	POST /scanbatch       body = {"texts": [...]}; scans pipelined in one call
-//	GET  /healthz         liveness + dictionary metadata
-//	GET  /metrics         Prometheus text format: request latency histogram,
-//	                      timeout/cancel/error counters, accumulated engine
-//	                      Work/Depth, and the scheduler's phase/steal/park/
-//	                      grain counters
-//	GET  /debug/vars      the same state as expvar JSON (plus memstats)
+//	POST   /scan            body = text; response = JSON match list
+//	POST   /scan?mode=count body = text; response = {"count": N}
+//	POST   /scanbatch       body = {"texts": [...]}; scans pipelined in one call
+//	POST   /patterns        body = {"patterns": [...]}; online inserts
+//	DELETE /patterns        body = {"patterns": [...]}; online removals
+//	POST   /reload          body = compiled dictionary (Save format); atomic
+//	                        whole-dictionary swap, checksum-verified, fails
+//	                        closed with the old dictionary intact
+//	GET    /healthz         liveness + dictionary/shard metadata
+//	GET    /metrics         Prometheus text format: request latency histogram,
+//	                        timeout/cancel/error counters, accumulated engine
+//	                        Work/Depth, shard snapshot/rebuild counters, and
+//	                        the scheduler's phase/steal/park/grain counters
+//	GET    /debug/vars      the same state as expvar JSON (plus memstats)
 //
 // Scans honor request cancellation (a disconnected client aborts its match
 // within one parallel phase) and the -timeout per-request deadline (exceeding
 // it returns 504); any other matching failure returns 500 rather than an
-// empty success.
+// empty success. Mutations are cheap log appends; compiled engine rebuilds
+// run on a background reconciler and swap in atomically, so scans never block
+// on writes.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// requests get up to -drain to finish, then the process exits.
 //
 // Usage:
 //
-//	dictserve -dict patterns.txt [-addr :8844] [-procs N] [-timeout 30s]
+//	dictserve -dict patterns.txt [-addr :8844] [-shards S] [-procs N]
 //	dictserve -load compiled.pdm
+//	dictserve                       (start empty; populate via /patterns)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pardict"
@@ -41,43 +58,91 @@ func main() {
 		dictPath = flag.String("dict", "", "file with one pattern per line")
 		loadPath = flag.String("load", "", "compiled dictionary (see dictmatch -compile)")
 		addr     = flag.String("addr", ":8844", "listen address")
+		shards   = flag.Int("shards", 0, "dictionary partitions (0 = 2×GOMAXPROCS, capped at 32)")
 		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
-		maxBody  = flag.Int64("maxbody", 16<<20, "maximum scan body size in bytes")
+		maxBody  = flag.Int64("maxbody", 16<<20, "maximum request body size in bytes")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request scan deadline (0 = none)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
-	m, err := buildMatcher(*dictPath, *loadPath, *procs)
+	m, err := buildMatcher(*dictPath, *loadPath, *procs, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer m.Close()
 	srv := newServer(m, *maxBody, *timeout)
-	log.Printf("serving %d patterns (m=%d, M=%d, engine=%s) on %s",
-		m.PatternCount(), m.MaxLen(), m.Size(), m.Engine(), *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	st := m.Stats()
+	log.Printf("serving %d patterns (m=%d, M=%d, shards=%d) on %s",
+		st.Patterns, st.MaxLen, st.Size, st.Shards, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, &http.Server{Handler: srv}, ln, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, shutting down")
 }
 
-func buildMatcher(dictPath, loadPath string, procs int) (*pardict.Matcher, error) {
+// run serves hs on ln until ctx is canceled (SIGINT/SIGTERM in production),
+// then shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to drain to finish, and stragglers are cut off after that.
+func run(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serve never returns nil; this is a listener/accept failure.
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// buildMatcher constructs the serving dictionary: seeded from a plain
+// pattern file, from a compiled Save-format file (checksum-verified), or —
+// with neither — empty, to be populated online via /patterns and /reload.
+func buildMatcher(dictPath, loadPath string, procs, shards int) (*pardict.ShardedMatcher, error) {
+	m, err := pardict.NewShardedMatcher(
+		pardict.WithParallelism(procs), pardict.WithShards(shards))
+	if err != nil {
+		return nil, err
+	}
 	switch {
 	case loadPath != "":
 		f, err := os.Open(loadPath)
 		if err != nil {
+			m.Close()
 			return nil, err
 		}
 		defer f.Close()
-		return pardict.LoadMatcher(f, pardict.WithParallelism(procs))
+		if err := m.ReloadSaved(f); err != nil {
+			m.Close()
+			return nil, err
+		}
 	case dictPath != "":
 		patterns, err := readLines(dictPath)
 		if err != nil {
+			m.Close()
 			return nil, err
 		}
-		return pardict.NewMatcher(patterns,
-			pardict.WithParallelism(procs), pardict.WithEngine(pardict.EngineGeneral))
-	default:
-		flag.Usage()
-		os.Exit(2)
-		return nil, nil
+		if err := m.Reload(patterns); err != nil {
+			m.Close()
+			return nil, err
+		}
 	}
+	return m, nil
 }

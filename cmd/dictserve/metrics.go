@@ -11,6 +11,7 @@ import (
 
 	"pardict"
 	"pardict/internal/obs"
+	"pardict/internal/shard"
 )
 
 // latencyBoundsNs are the scan-latency histogram buckets, in nanoseconds:
@@ -101,18 +102,20 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	m.mu.Unlock()
 
-	lat := m.scanLatency.Snapshot()
-	fmt.Fprintf(w, "# HELP pardict_scan_latency_seconds Matching latency per scanned text.\n")
-	fmt.Fprintf(w, "# TYPE pardict_scan_latency_seconds histogram\n")
-	var cum int64
-	for i, b := range lat.Bounds {
-		cum += lat.Counts[i]
-		fmt.Fprintf(w, "pardict_scan_latency_seconds_bucket{le=\"%g\"} %d\n", float64(b)/1e9, cum)
+	histogram := func(name, help string, h obs.HistSnapshot) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(b)/1e9, cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum)/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 	}
-	cum += lat.Counts[len(lat.Counts)-1]
-	fmt.Fprintf(w, "pardict_scan_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "pardict_scan_latency_seconds_sum %g\n", float64(lat.Sum)/1e9)
-	fmt.Fprintf(w, "pardict_scan_latency_seconds_count %d\n", lat.Count)
+	histogram("pardict_scan_latency_seconds", "Matching latency per scanned text.", m.scanLatency.Snapshot())
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -129,12 +132,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("pardict_texts_scanned_total", "Texts matched (each batch entry counts once).", m.texts.Load())
 	counter("pardict_bytes_scanned_total", "Text bytes matched.", m.bytes.Load())
 
+	sst := s.m.Stats()
 	fmt.Fprintf(w, "# HELP pardict_dictionary_info Dictionary shape (value is always 1).\n")
 	fmt.Fprintf(w, "# TYPE pardict_dictionary_info gauge\n")
-	fmt.Fprintf(w, "pardict_dictionary_info{engine=%q} 1\n", s.m.Engine().String())
-	gauge("pardict_dictionary_patterns", "Loaded pattern count.", int64(s.m.PatternCount()))
-	gauge("pardict_dictionary_max_len", "Longest pattern length m.", int64(s.m.MaxLen()))
-	gauge("pardict_dictionary_bytes", "Total pattern size M.", int64(s.m.Size()))
+	fmt.Fprintf(w, "pardict_dictionary_info{engine=%q} 1\n", "sharded")
+	gauge("pardict_dictionary_patterns", "Live pattern count.", int64(sst.Patterns))
+	gauge("pardict_dictionary_max_len", "Longest live pattern length m (high-water).", int64(sst.MaxLen))
+	gauge("pardict_dictionary_bytes", "Total live pattern size M.", int64(sst.Size))
+
+	gauge("pardict_shard_count", "Dictionary partition count S.", int64(sst.Shards))
+	gauge("pardict_shard_pending_ops", "Mutation-log records awaiting reconciliation, all shards.", int64(sst.PendingOps))
+	gauge("pardict_shard_pending_bytes", "Encoded pattern bytes in unreconciled log records.", int64(sst.PendingBytes))
+	gauge("pardict_shard_epoch", "Max shard snapshot generation.", int64(sst.Epoch))
+	gauge("pardict_shard_pinned_snapshots", "Scans currently holding shard snapshots pinned.", sst.PinnedSnapshots)
+	counter("pardict_shard_snapshot_swaps_total", "Snapshot publishes (rebuilds and reloads).", sst.SnapshotSwaps)
+	counter("pardict_shard_rebuilds_total", "Background engine recompiles completed.", sst.Rebuilds)
+	counter("pardict_shard_rebuild_errors_total", "Background engine recompiles failed.", sst.RebuildErrors)
+	counter("pardict_shard_reconcile_work_total", "Accumulated PRAM work of background rebuilds.", sst.ReconcileWork)
+	counter("pardict_shard_reconcile_depth_total", "Accumulated PRAM depth of background rebuilds.", sst.ReconcileDepth)
+	histogram("pardict_shard_rebuild_seconds", "Wall time per background shard rebuild (process-wide).",
+		shard.GlobalMetrics().RebuildNs)
 
 	st := s.m.SchedulerStats()
 	counter("pardict_scheduler_phases_total", "Parallel phases issued (including inline short phases).", st.Phases)
@@ -181,6 +198,7 @@ func (s *server) varsSnapshot() map[string]any {
 	}
 	m.mu.Unlock()
 	st := s.m.SchedulerStats()
+	sst := s.m.Stats()
 	return map[string]any{
 		"requests":          reqs,
 		"scan_timeouts":     m.timeouts.Load(),
@@ -192,7 +210,8 @@ func (s *server) varsSnapshot() map[string]any {
 		"bytes_scanned":     m.bytes.Load(),
 		"scan_latency_ms":   float64(lat.Sum) / 1e6,
 		"scans":             lat.Count,
-		"dictionary":        map[string]any{"engine": s.m.Engine().String(), "patterns": s.m.PatternCount(), "max_len": s.m.MaxLen(), "bytes": s.m.Size()},
+		"dictionary":        map[string]any{"engine": "sharded", "patterns": sst.Patterns, "max_len": sst.MaxLen, "bytes": sst.Size},
+		"shard":             sst,
 		"scheduler":         st,
 		"scheduler_derived": map[string]float64{"mean_grain": st.MeanGrain(), "mean_queue": st.MeanQueue()},
 	}

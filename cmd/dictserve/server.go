@@ -14,21 +14,24 @@ import (
 	"pardict"
 )
 
-// server is the HTTP handler wrapping one immutable matcher. Matcher.Match
-// is safe for concurrent use, so no locking is needed.
+// server is the HTTP handler wrapping one sharded matcher. Every method on
+// ShardedMatcher is safe for concurrent use — scans pin RCU snapshots and
+// never block on the mutation endpoints, so no server-level locking exists.
 type server struct {
-	m       *pardict.Matcher
+	m       *pardict.ShardedMatcher
 	maxBody int64
 	timeout time.Duration // per-request matching deadline; 0 = none
 	mux     *http.ServeMux
 	metrics *serverMetrics
 }
 
-func newServer(m *pardict.Matcher, maxBody int64, timeout time.Duration) *server {
+func newServer(m *pardict.ShardedMatcher, maxBody int64, timeout time.Duration) *server {
 	s := &server{m: m, maxBody: maxBody, timeout: timeout, mux: http.NewServeMux(),
 		metrics: newServerMetrics()}
 	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/scanbatch", s.handleScanBatch)
+	s.mux.HandleFunc("/patterns", s.handlePatterns)
+	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.Handle("/debug/vars", expvar.Handler())
@@ -116,42 +119,48 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 }
 
 // collect renders one text's matches per the requested mode ("", "count",
-// or "all").
-func (s *server) collect(res *pardict.Matches, mode string) scanResponse {
+// or "all"). Pattern text comes from the result itself (AllAt carries the
+// raw bytes): the live set can change between the scan and the render, and
+// the snapshot the scan pinned is the only consistent source.
+func (s *server) collect(res *pardict.ShardedMatches, mode string) scanResponse {
 	out := scanResponse{}
 	countOnly := mode == "count"
 	all := mode == "all"
-	var buf []int
+	var buf []pardict.ShardedHit
 	for i := 0; i < res.Len(); i++ {
 		switch {
 		case all:
-			buf = res.All(i, buf[:0])
-			for _, p := range buf {
+			buf = res.AllAt(i, buf[:0])
+			for _, h := range buf {
 				out.Count++
 				out.Matches = append(out.Matches, scanMatch{
-					Pos: i, Pattern: p, Text: string(s.m.Pattern(p)),
+					Pos: i, Pattern: int(h.ID), Text: string(h.Pattern),
 				})
 			}
-		default:
-			if p, ok := res.Longest(i); ok {
+		case countOnly:
+			if _, ok := res.Longest(i); ok {
 				out.Count++
-				if !countOnly {
-					out.Matches = append(out.Matches, scanMatch{
-						Pos: i, Pattern: p, Text: string(s.m.Pattern(p)),
-					})
+			}
+		default:
+			if id, ok := res.Longest(i); ok {
+				out.Count++
+				text := ""
+				if buf = res.AllAt(i, buf[:0]); len(buf) > 0 {
+					text = string(buf[0].Pattern)
 				}
+				out.Matches = append(out.Matches, scanMatch{
+					Pos: i, Pattern: int(id), Text: text,
+				})
 			}
 		}
-	}
-	if countOnly {
-		out.Matches = nil
 	}
 	return out
 }
 
 // scanBatchRequest is the /scanbatch body: a list of texts to scan in one
 // call. The texts are pipelined through the matcher's shared scheduler
-// (Matcher.MatchBatch), so a batch costs less than one request per text.
+// (ShardedMatcher.MatchBatch), so a batch costs less than one request per
+// text.
 type scanBatchRequest struct {
 	Texts []string `json:"texts"`
 }
@@ -199,22 +208,136 @@ func (s *server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// patternsRequest is the /patterns body for both POST (insert) and DELETE.
+type patternsRequest struct {
+	Patterns []string `json:"patterns"`
+}
+
+// patternsResponse reports how many mutations were applied. IDs parallels
+// the request on POST. On a partial failure the error response carries the
+// applied count instead: everything before the failing pattern took effect
+// (mutations are individually atomic, not transactional across the list).
+type patternsResponse struct {
+	Applied int   `json:"applied"`
+	IDs     []int `json:"ids,omitempty"`
+}
+
+// writeMutationErr maps a mutation error to a status code: 409 for duplicate
+// inserts, 404 for deleting an absent pattern, 503 once the matcher is
+// closed, 400 for anything else (empty pattern, byte outside the configured
+// alphabet). The JSON body carries the count of mutations already applied.
+func (s *server) writeMutationErr(w http.ResponseWriter, err error, applied int) int {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, pardict.ErrDuplicatePattern):
+		code = http.StatusConflict
+	case errors.Is(err, pardict.ErrPatternNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, pardict.ErrMatcherClosed):
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "applied": applied})
+	return code
+}
+
+// handlePatterns mutates the live dictionary online: POST inserts, DELETE
+// removes (by content). Each pattern is an O(1) amortized log append visible
+// to every scan that starts after the response; the engine rebuilds it
+// eventually triggers run on the background reconciler, off this path.
+func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		http.Error(w, "POST or DELETE required", http.StatusMethodNotAllowed)
+		s.metrics.countRequest("patterns", http.StatusMethodNotAllowed)
+		return
+	}
+	var req patternsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad JSON body", http.StatusBadRequest)
+		s.metrics.countRequest("patterns", http.StatusBadRequest)
+		return
+	}
+	if len(req.Patterns) == 0 {
+		http.Error(w, "no patterns in body", http.StatusBadRequest)
+		s.metrics.countRequest("patterns", http.StatusBadRequest)
+		return
+	}
+	out := patternsResponse{}
+	for _, p := range req.Patterns {
+		var err error
+		if r.Method == http.MethodPost {
+			var id pardict.PatternID
+			if id, err = s.m.Insert([]byte(p)); err == nil {
+				out.IDs = append(out.IDs, int(id))
+			}
+		} else {
+			err = s.m.Delete([]byte(p))
+		}
+		if err != nil {
+			s.metrics.countRequest("patterns", s.writeMutationErr(w, err, out.Applied))
+			return
+		}
+		out.Applied++
+	}
+	s.metrics.countRequest("patterns", http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleReload atomically replaces the whole dictionary from a Save-format
+// body (see Matcher.Save / dictmatch -compile). The body is fully parsed and
+// checksum-verified before any state changes, so a corrupt or truncated
+// upload fails closed with the old dictionary still serving.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		s.metrics.countRequest("reload", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := s.m.ReloadSaved(http.MaxBytesReader(w, r.Body, s.maxBody)); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, pardict.ErrMatcherClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+		s.metrics.countRequest("reload", code)
+		return
+	}
+	s.metrics.countRequest("reload", http.StatusOK)
+	s.writeHealth(w)
+}
+
 type healthResponse struct {
-	OK       bool   `json:"ok"`
-	Patterns int    `json:"patterns"`
-	MaxLen   int    `json:"max_len"`
-	Size     int    `json:"size"`
-	Engine   string `json:"engine"`
+	OK         bool   `json:"ok"`
+	Patterns   int    `json:"patterns"`
+	MaxLen     int    `json:"max_len"`
+	Size       int    `json:"size"`
+	Engine     string `json:"engine"`
+	Shards     int    `json:"shards"`
+	PendingOps int    `json:"pending_ops"`
+	Epoch      uint64 `json:"epoch"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeHealth(w)
+}
+
+func (s *server) writeHealth(w http.ResponseWriter) {
+	st := s.m.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(healthResponse{
-		OK:       true,
-		Patterns: s.m.PatternCount(),
-		MaxLen:   s.m.MaxLen(),
-		Size:     s.m.Size(),
-		Engine:   s.m.Engine().String(),
+		OK:         true,
+		Patterns:   st.Patterns,
+		MaxLen:     st.MaxLen,
+		Size:       st.Size,
+		Engine:     "sharded",
+		Shards:     st.Shards,
+		PendingOps: st.PendingOps,
+		Epoch:      st.Epoch,
 	})
 }
 

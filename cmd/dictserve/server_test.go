@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,15 +20,28 @@ import (
 	"pardict"
 )
 
-func testServer(t *testing.T) *server {
+func testMatcher(t *testing.T, patterns ...string) *pardict.ShardedMatcher {
 	t.Helper()
-	m, err := pardict.NewMatcher([][]byte{
-		[]byte("he"), []byte("she"), []byte("his"), []byte("hers"),
-	}, pardict.WithEngine(pardict.EngineGeneral))
+	m, err := pardict.NewShardedMatcher(pardict.WithShards(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(m, 1<<20, 30*time.Second)
+	t.Cleanup(m.Close)
+	pats := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		pats[i] = []byte(p)
+	}
+	if len(pats) > 0 {
+		if err := m.Reload(pats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	return newServer(testMatcher(t, "he", "she", "his", "hers"), 1<<20, 30*time.Second)
 }
 
 func TestScanEndpoint(t *testing.T) {
@@ -91,11 +107,7 @@ func TestScanMethodNotAllowed(t *testing.T) {
 }
 
 func TestScanBodyLimit(t *testing.T) {
-	m, err := pardict.NewMatcher([][]byte{[]byte("x")})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := newServer(m, 8, 0)
+	srv := newServer(testMatcher(t, "x"), 8, 0)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("this body is way beyond eight bytes"))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
@@ -113,7 +125,8 @@ func TestHealthz(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
 		t.Fatal(err)
 	}
-	if !res.OK || res.Patterns != 4 || res.MaxLen != 4 || res.Size != 12 || res.Engine != "general" {
+	if !res.OK || res.Patterns != 4 || res.MaxLen != 4 || res.Size != 12 ||
+		res.Engine != "sharded" || res.Shards != 4 {
 		t.Fatalf("res = %+v", res)
 	}
 }
@@ -173,12 +186,8 @@ func TestScanBatchBadBody(t *testing.T) {
 }
 
 func TestScanDeadlineReturns504(t *testing.T) {
-	m, err := pardict.NewMatcher([][]byte{[]byte("needle")})
-	if err != nil {
-		t.Fatal(err)
-	}
 	// A deadline that expires immediately forces the match itself to abort.
-	srv := newServer(m, 1<<20, time.Nanosecond)
+	srv := newServer(testMatcher(t, "needle"), 1<<20, time.Nanosecond)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader(strings.Repeat("x", 1<<16)))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
@@ -241,6 +250,161 @@ func TestWriteMatchErrMapping(t *testing.T) {
 	}
 }
 
+// doJSON drives one request through the handler and decodes any JSON response.
+func doJSON(t *testing.T, srv *server, method, target, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	out := map[string]any{}
+	if rec.Body.Len() > 0 && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON from %s %s: %v\n%s", method, target, err, rec.Body.String())
+		}
+	}
+	return rec, out
+}
+
+func TestPatternsInsertAndScan(t *testing.T) {
+	srv := testServer(t)
+	rec, out := doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": ["ush", "sell"]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", rec.Code, rec.Body.String())
+	}
+	if out["applied"].(float64) != 2 {
+		t.Fatalf("insert response = %v", out)
+	}
+	// The inserts are visible to the very next scan: ush@0 now matches.
+	rec, _ = doJSON(t, srv, http.MethodPost, "/scan", "ushers")
+	var res scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 3 || res.Matches[0].Text != "ush" {
+		t.Fatalf("post-insert scan = %+v", res)
+	}
+}
+
+func TestPatternsDelete(t *testing.T) {
+	srv := testServer(t)
+	rec, out := doJSON(t, srv, http.MethodDelete, "/patterns", `{"patterns": ["she"]}`)
+	if rec.Code != http.StatusOK || out["applied"].(float64) != 1 {
+		t.Fatalf("delete status %d: %v", rec.Code, out)
+	}
+	rec, _ = doJSON(t, srv, http.MethodPost, "/scan", "ushers")
+	var res scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	// she@1 is gone; hers@2 (shadowing he@2) is the only match left.
+	if res.Count != 1 || res.Matches[0].Text != "hers" {
+		t.Fatalf("post-delete scan = %+v", res)
+	}
+}
+
+func TestPatternsErrorMapping(t *testing.T) {
+	srv := testServer(t)
+
+	// Duplicate insert → 409, with the prior applied count reported.
+	rec, out := doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": ["new", "she"]}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("duplicate status %d", rec.Code)
+	}
+	if out["applied"].(float64) != 1 {
+		t.Fatalf("duplicate response = %v", out)
+	}
+	// "new" took effect even though "she" failed: mutations are individually
+	// atomic, not transactional across the list.
+	if rec, _ := doJSON(t, srv, http.MethodPost, "/scan?mode=count", "new"); !strings.Contains(rec.Body.String(), `"count":1`) {
+		t.Fatalf("partial insert lost: %s", rec.Body.String())
+	}
+
+	// Deleting an absent pattern → 404.
+	if rec, _ := doJSON(t, srv, http.MethodDelete, "/patterns", `{"patterns": ["absent"]}`); rec.Code != http.StatusNotFound {
+		t.Fatalf("absent delete status %d", rec.Code)
+	}
+	// Bad JSON → 400; empty list → 400; wrong method → 405.
+	if rec, _ := doJSON(t, srv, http.MethodPost, "/patterns", "not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": []}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty list status %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, srv, http.MethodGet, "/patterns", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", rec.Code)
+	}
+
+	// Closed matcher → 503.
+	srv.m.Close()
+	if rec, _ := doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": ["x"]}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("closed status %d", rec.Code)
+	}
+}
+
+// saveBody compiles patterns into a Save-format stream, the /reload body.
+func saveBody(t *testing.T, patterns ...string) []byte {
+	t.Helper()
+	pats := make([][]byte, len(patterns))
+	for i, p := range patterns {
+		pats[i] = []byte(p)
+	}
+	cm, err := pardict.NewMatcher(pats, pardict.WithEngine(pardict.EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReloadEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := saveBody(t, "usher", "board")
+	req := httptest.NewRequest(http.MethodPost, "/reload", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Patterns != 2 {
+		t.Fatalf("reload response = %+v", h)
+	}
+	// The old dictionary is fully replaced.
+	rec, _ = doJSON(t, srv, http.MethodPost, "/scan", "ushers")
+	var res scanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 || res.Matches[0].Text != "usher" {
+		t.Fatalf("post-reload scan = %+v", res)
+	}
+}
+
+func TestReloadCorruptFailsClosed(t *testing.T) {
+	srv := testServer(t)
+	body := saveBody(t, "usher", "board")
+	body[len(body)-1] ^= 0xFF // break the trailing checksum
+	req := httptest.NewRequest(http.MethodPost, "/reload", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("corrupt reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	// Old dictionary still serving, untouched.
+	if srv.m.Len() != 4 {
+		t.Fatalf("corrupt reload changed the dictionary: %d patterns", srv.m.Len())
+	}
+	if rec, _ := doJSON(t, srv, http.MethodGet, "/reload", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /reload status %d", rec.Code)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	// Drive one scan and one batch so every counter family has data.
@@ -248,6 +412,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv.ServeHTTP(httptest.NewRecorder(), req)
 	req = httptest.NewRequest(http.MethodPost, "/scanbatch", strings.NewReader(`{"texts":["he","she"]}`))
 	srv.ServeHTTP(httptest.NewRecorder(), req)
+	// And one mutation so the shard gauges move.
+	doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": ["metricpattern"]}`)
 
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
@@ -256,6 +422,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	body := rec.Body.String()
 	for _, want := range []string{
+		`pardict_requests_total{endpoint="patterns",code="200"} 1`,
 		`pardict_requests_total{endpoint="scan",code="200"} 1`,
 		`pardict_requests_total{endpoint="scanbatch",code="200"} 1`,
 		"pardict_scan_latency_seconds_bucket{le=\"+Inf\"} 2",
@@ -265,7 +432,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pardict_engine_depth_total",
 		"pardict_texts_scanned_total 3",
 		"pardict_bytes_scanned_total 11",
-		`pardict_dictionary_info{engine="general"} 1`,
+		`pardict_dictionary_info{engine="sharded"} 1`,
+		"pardict_dictionary_patterns 5",
+		"pardict_shard_count 4",
+		"pardict_shard_pending_ops 1",
+		"pardict_shard_snapshot_swaps_total",
+		"pardict_shard_rebuilds_total",
+		"pardict_shard_pinned_snapshots 0",
+		"pardict_shard_rebuild_seconds_count",
 		"pardict_scheduler_phases_total",
 		"pardict_scheduler_steals_total",
 		"pardict_scheduler_parks_total",
@@ -302,7 +476,11 @@ func TestDebugVars(t *testing.T) {
 			TextsScanned int64            `json:"texts_scanned"`
 			EngineWork   int64            `json:"engine_work"`
 			Requests     map[string]int64 `json:"requests"`
-			Scheduler    struct {
+			Shard        struct {
+				Shards   int
+				Patterns int
+			} `json:"shard"`
+			Scheduler struct {
 				Phases int64
 			} `json:"scheduler"`
 		} `json:"pardict"`
@@ -317,6 +495,9 @@ func TestDebugVars(t *testing.T) {
 	if p.Scheduler.Phases == 0 {
 		t.Fatalf("scheduler phases missing: %+v", p)
 	}
+	if p.Shard.Shards != 4 || p.Shard.Patterns != 4 {
+		t.Fatalf("shard vars = %+v", p.Shard)
+	}
 }
 
 func TestBuildMatcherFromFiles(t *testing.T) {
@@ -325,28 +506,73 @@ func TestBuildMatcherFromFiles(t *testing.T) {
 	if err := os.WriteFile(dictPath, []byte("abc\ndef\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	m, err := buildMatcher(dictPath, "", 1)
+	m, err := buildMatcher(dictPath, "", 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.PatternCount() != 2 {
-		t.Fatalf("patterns = %d", m.PatternCount())
+	defer m.Close()
+	if m.Len() != 2 || m.Shards() != 2 {
+		t.Fatalf("patterns = %d, shards = %d", m.Len(), m.Shards())
 	}
 	// Compiled round-trip through buildMatcher's load path.
 	binPath := filepath.Join(dir, "d.pdm")
-	f, err := os.Create(binPath)
+	if err := os.WriteFile(binPath, saveBody(t, "abc", "def"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := buildMatcher("", binPath, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Save(f); err != nil {
-		t.Fatal(err)
+	defer m2.Close()
+	if m2.Len() != 2 {
+		t.Fatalf("loaded patterns = %d", m2.Len())
 	}
-	f.Close()
-	m2, err := buildMatcher("", binPath, 1)
+	// No seed at all: start empty, ready for /patterns and /reload.
+	m3, err := buildMatcher("", "", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m2.PatternCount() != 2 {
-		t.Fatalf("loaded patterns = %d", m2.PatternCount())
+	defer m3.Close()
+	if m3.Len() != 0 {
+		t.Fatalf("empty matcher has %d patterns", m3.Len())
+	}
+}
+
+// TestRunGracefulShutdown drives the real serve loop: a request issued before
+// cancellation completes, Shutdown drains within the deadline, and run
+// returns nil rather than http.ErrServerClosed.
+func TestRunGracefulShutdown(t *testing.T) {
+	srv := testServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, &http.Server{Handler: srv}, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Post(url+"/scan", "text/plain", strings.NewReader("ushers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hers") {
+		t.Fatalf("pre-shutdown scan: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := http.Post(url+"/scan", "text/plain", strings.NewReader("x")); err == nil {
+		t.Fatal("post-shutdown request succeeded")
 	}
 }

@@ -41,6 +41,19 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
+// Gauge is an atomic instantaneous value: it moves both ways (e.g. the number
+// of currently pinned snapshots). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // Histogram is a bounded histogram over int64 observations with fixed upper
 // bounds chosen at construction — cumulative rendering (Prometheus "le"
 // buckets) is derived at snapshot time. The zero value is not usable; call

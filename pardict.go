@@ -84,11 +84,12 @@ type Stats struct {
 
 type config struct {
 	procs    int
-	pool     *Pool  // caller-supplied scheduler; nil = process-wide shared pool
+	pool     *Pool // caller-supplied scheduler; nil = process-wide shared pool
 	engine   Engine
 	sigma    []byte // dense alphabet; nil = raw bytes (σ = 256)
 	collapse int    // L for the small-alphabet engine; 0 = auto
 	binary   bool   // Theorem 5: re-encode symbols in binary first
+	shards   int    // ShardedMatcher partitions; 0 = auto
 }
 
 // Option configures matcher construction.
@@ -135,6 +136,14 @@ func WithCollapse(l int) Option {
 // with EngineSmallAlphabet; WithCollapse then counts bits.
 func WithBinaryExpansion() Option {
 	return func(c *config) { c.binary = true }
+}
+
+// WithShards sets the partition count of a ShardedMatcher (ignored by the
+// other matcher kinds). Zero — the default — picks 2×GOMAXPROCS capped at 32:
+// enough partitions that rebuilds stay small and scatter tasks saturate the
+// pool, without multiplying the per-scan engine overhead needlessly.
+func WithShards(s int) Option {
+	return func(c *config) { c.shards = s }
 }
 
 func buildConfig(opts []Option) *config {

@@ -2,6 +2,7 @@ package pardict
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"pardict/internal/workload"
@@ -133,5 +134,95 @@ func TestSaveLoadEmptyDictionary(t *testing.T) {
 	r := loaded.Match([]byte("anything"))
 	if r.Count() != 0 {
 		t.Fatal("empty dictionary matched")
+	}
+}
+
+func TestSaveFormatV2Checksum(t *testing.T) {
+	m, err := NewMatcher([][]byte{[]byte("he"), []byte("she"), []byte("hers")}, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// A pristine stream loads.
+	if _, err := LoadMatcher(bytes.NewReader(full)); err != nil {
+		t.Fatalf("pristine v2 load: %v", err)
+	}
+
+	// Corrupting the trailing checksum itself is caught.
+	bad := append([]byte(nil), full...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := LoadMatcher(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptSave) {
+		t.Fatalf("flipped checksum: err = %v, want ErrCorruptSave", err)
+	}
+
+	// Flipping any payload byte past the version field must be rejected —
+	// either as a parse failure or as a checksum mismatch, never accepted.
+	for pos := 8; pos < len(full)-4; pos += 7 {
+		bad := append([]byte(nil), full...)
+		bad[pos] ^= 0x55
+		if _, err := LoadMatcher(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d accepted", pos)
+		}
+	}
+
+	// Truncating the checksum (or part of it) fails closed.
+	for cut := 1; cut <= 4; cut++ {
+		if _, err := LoadMatcher(bytes.NewReader(full[:len(full)-cut])); err == nil {
+			t.Fatalf("stream short %d checksum bytes accepted", cut)
+		}
+	}
+}
+
+func TestSaveFormatV1LegacyLoad(t *testing.T) {
+	pats := [][]byte{[]byte("acgt"), []byte("gat"), []byte("ga")}
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral), WithAlphabet([]byte("acgt")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := m.saveVersion(&v1, matcherVersionV1); err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := m.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(v1.Bytes(), v2.Bytes()) {
+		t.Fatal("v1 and v2 streams identical; version/checksum not written")
+	}
+	loaded, err := LoadMatcher(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy v1 load: %v", err)
+	}
+	if loaded.PatternCount() != 3 {
+		t.Fatalf("legacy load pattern count %d", loaded.PatternCount())
+	}
+	r := loaded.Match([]byte("xgatx"))
+	if p, ok := r.Longest(1); !ok || p != 1 {
+		t.Fatalf("legacy-loaded matcher broken: %d %v", p, ok)
+	}
+}
+
+func TestSaveV2EmptyDictionaryChecksum(t *testing.T) {
+	m, err := NewMatcher(nil, WithEngine(EngineGeneral))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMatcher(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("empty v2 load: %v", err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[len(bad)-2] ^= 1
+	if _, err := LoadMatcher(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptSave) {
+		t.Fatalf("empty corrupt: %v", err)
 	}
 }
