@@ -4,28 +4,38 @@
 // It is the paper's sequential yardstick: O(n + M) time, which defines
 // "optimal speedup" for the parallel algorithms (§1), and the correctness
 // oracle for the engines on large randomized inputs.
+//
+// The goto function is stored in CSR (compressed sparse row) form: one row
+// of sorted (symbol, child) pairs per state in two shared contiguous arrays,
+// with the fail/out/outLink/depth attributes in parallel structure-of-arrays
+// layout. The automaton is built through a transient open-addressed edge map
+// and frozen before the failure-link BFS, so the scan loop performs no hash
+// lookups and no per-node allocation at all.
 package ahocorasick
 
 import (
 	"errors"
 	"sort"
+
+	"pardict/internal/flathash"
 )
 
 // ErrEmptyPattern reports a zero-length pattern.
 var ErrEmptyPattern = errors.New("ahocorasick: empty pattern")
 
-type node struct {
-	next    map[int32]int32 // goto function
-	fail    int32           // failure link
-	out     int32           // pattern ending exactly here, or -1
-	outLink int32           // nearest node on the failure chain with out >= 0, or -1
-	depth   int32
-}
-
 // Automaton is a built Aho–Corasick machine. It is immutable after New and
 // safe for concurrent use.
 type Automaton struct {
-	nodes    []node
+	// CSR goto function: edges of state u are the rows
+	// [rowStart[u], rowStart[u+1]) of syms/to, sorted by symbol.
+	rowStart []int32
+	syms     []int32
+	to       []int32
+	// Per-state attributes (structure of arrays).
+	fail     []int32
+	out      []int32 // pattern ending exactly here, or -1
+	outLink  []int32 // nearest state on the failure chain with out >= 0, or -1
+	depth    []int32
 	patterns [][]int32
 }
 
@@ -34,100 +44,153 @@ type Automaton struct {
 // oracle tolerates them for robustness).
 func New(patterns [][]int32) (*Automaton, error) {
 	a := &Automaton{patterns: patterns}
-	a.nodes = append(a.nodes, node{next: map[int32]int32{}, fail: 0, out: -1, outLink: -1})
+	var edges flathash.Map[int32]
+	edgeKey := func(u, s int32) uint64 {
+		return uint64(uint32(u))<<32 | uint64(uint32(s))
+	}
+	a.out = append(a.out, -1)
+	a.depth = append(a.depth, 0)
 	for pi, p := range patterns {
 		if len(p) == 0 {
 			return nil, ErrEmptyPattern
 		}
 		cur := int32(0)
 		for _, s := range p {
-			nxt, ok := a.nodes[cur].next[s]
+			nxt, ok := edges.Get(edgeKey(cur, s))
 			if !ok {
-				nxt = int32(len(a.nodes))
-				a.nodes = append(a.nodes, node{
-					next: map[int32]int32{}, out: -1, outLink: -1,
-					depth: a.nodes[cur].depth + 1,
-				})
-				a.nodes[cur].next[s] = nxt
+				nxt = int32(len(a.out))
+				a.out = append(a.out, -1)
+				a.depth = append(a.depth, a.depth[cur]+1)
+				edges.Put(edgeKey(cur, s), nxt)
 			}
 			cur = nxt
 		}
-		if a.nodes[cur].out < 0 {
-			a.nodes[cur].out = int32(pi)
+		if a.out[cur] < 0 {
+			a.out[cur] = int32(pi)
 		}
 	}
+	a.freezeEdges(&edges)
 	a.buildFailure()
 	return a, nil
 }
 
-// buildFailure computes failure and output links in BFS order.
+// freezeEdges converts the build-time edge map into the CSR arrays: count
+// edges per state, prefix-sum into row starts, scatter, then sort each row by
+// symbol so step can binary-search it.
+func (a *Automaton) freezeEdges(edges *flathash.Map[int32]) {
+	n := len(a.out)
+	counts := make([]int32, n)
+	edges.Range(func(k uint64, _ int32) bool {
+		counts[int32(k>>32)]++
+		return true
+	})
+	a.rowStart = make([]int32, n+1)
+	var total int32
+	for u, c := range counts {
+		a.rowStart[u] = total
+		total += c
+	}
+	a.rowStart[n] = total
+	a.syms = make([]int32, total)
+	a.to = make([]int32, total)
+	fill := append([]int32(nil), a.rowStart[:n]...)
+	edges.Range(func(k uint64, v int32) bool {
+		u := int32(k >> 32)
+		i := fill[u]
+		a.syms[i] = int32(uint32(k))
+		a.to[i] = v
+		fill[u]++
+		return true
+	})
+	for u := 0; u < n; u++ {
+		lo, hi := a.rowStart[u], a.rowStart[u+1]
+		sort.Sort(acRow{syms: a.syms[lo:hi], to: a.to[lo:hi]})
+	}
+}
+
+type acRow struct{ syms, to []int32 }
+
+func (r acRow) Len() int           { return len(r.syms) }
+func (r acRow) Less(i, j int) bool { return r.syms[i] < r.syms[j] }
+func (r acRow) Swap(i, j int) {
+	r.syms[i], r.syms[j] = r.syms[j], r.syms[i]
+	r.to[i], r.to[j] = r.to[j], r.to[i]
+}
+
+// gotoChild returns the goto target of state u on symbol s, or -1, via binary
+// search over u's sorted CSR row.
+func (a *Automaton) gotoChild(u, s int32) int32 {
+	lo, hi := a.rowStart[u], a.rowStart[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch v := a.syms[mid]; {
+		case v < s:
+			lo = mid + 1
+		case v > s:
+			hi = mid
+		default:
+			return a.to[mid]
+		}
+	}
+	return -1
+}
+
+// buildFailure computes failure and output links in BFS order over the CSR
+// rows (already sorted by symbol, so the traversal is deterministic without
+// any per-node key sorting or allocation).
 func (a *Automaton) buildFailure() {
-	queue := make([]int32, 0, len(a.nodes))
-	for _, v := range sortedChildren(a.nodes[0].next) {
-		a.nodes[v].fail = 0
-		queue = append(queue, v)
+	n := len(a.out)
+	a.fail = make([]int32, n)
+	a.outLink = make([]int32, n)
+	for u := range a.outLink {
+		a.outLink[u] = -1
+	}
+	queue := make([]int32, 0, n)
+	for i := a.rowStart[0]; i < a.rowStart[1]; i++ {
+		queue = append(queue, a.to[i])
 	}
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
-		un := &a.nodes[u]
-		if f := un.fail; a.nodes[f].out >= 0 {
-			un.outLink = f
+		if f := a.fail[u]; a.out[f] >= 0 {
+			a.outLink[u] = f
 		} else {
-			un.outLink = a.nodes[f].outLink
+			a.outLink[u] = a.outLink[f]
 		}
-		for _, s := range sortedKeys(un.next) {
-			v := un.next[s]
-			f := un.fail
+		for i := a.rowStart[u]; i < a.rowStart[u+1]; i++ {
+			s, v := a.syms[i], a.to[i]
+			f := a.fail[u]
 			for f != 0 {
-				if w, ok := a.nodes[f].next[s]; ok {
+				if w := a.gotoChild(f, s); w >= 0 {
 					f = w
 					goto set
 				}
-				f = a.nodes[f].fail
+				f = a.fail[f]
 			}
-			if w, ok := a.nodes[0].next[s]; ok && w != v {
+			if w := a.gotoChild(0, s); w >= 0 && w != v {
 				f = w
 			} else {
 				f = 0
 			}
 		set:
-			a.nodes[v].fail = f
+			a.fail[v] = f
 			queue = append(queue, v)
 		}
 	}
 }
 
-func sortedKeys(m map[int32]int32) []int32 {
-	ks := make([]int32, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
-	return ks
-}
-
-func sortedChildren(m map[int32]int32) []int32 {
-	ks := sortedKeys(m)
-	vs := make([]int32, len(ks))
-	for i, k := range ks {
-		vs[i] = m[k]
-	}
-	return vs
-}
-
 // States reports the number of automaton states (trie nodes).
-func (a *Automaton) States() int { return len(a.nodes) }
+func (a *Automaton) States() int { return len(a.out) }
 
 // step advances from state cur on symbol s.
 func (a *Automaton) step(cur int32, s int32) int32 {
 	for {
-		if nxt, ok := a.nodes[cur].next[s]; ok {
+		if nxt := a.gotoChild(cur, s); nxt >= 0 {
 			return nxt
 		}
 		if cur == 0 {
 			return 0
 		}
-		cur = a.nodes[cur].fail
+		cur = a.fail[cur]
 	}
 }
 
@@ -140,11 +203,11 @@ func (a *Automaton) LongestMatchEnding(text []int32) []int32 {
 		cur = a.step(cur, s)
 		m := int32(-1)
 		v := cur
-		if a.nodes[v].out < 0 {
-			v = a.nodes[v].outLink
+		if a.out[v] < 0 {
+			v = a.outLink[v]
 		}
 		if v >= 0 {
-			m = a.nodes[v].out
+			m = a.out[v]
 		}
 		out[j] = m
 	}
@@ -170,16 +233,16 @@ func (a *Automaton) LongestMatchStarting(text []int32) []int32 {
 		// pattern starting at position p is seen when its end is reached,
 		// so taking max over ends covers all starts.
 		v := cur
-		if a.nodes[v].out < 0 {
-			v = a.nodes[v].outLink
+		if a.out[v] < 0 {
+			v = a.outLink[v]
 		}
 		for v >= 0 {
-			pi := a.nodes[v].out
+			pi := a.out[v]
 			start := j - len(a.patterns[pi]) + 1
 			if out[start] < 0 || len(a.patterns[pi]) > len(a.patterns[out[start]]) {
 				out[start] = pi
 			}
-			v = a.nodes[v].outLink
+			v = a.outLink[v]
 		}
 	}
 	return out
@@ -192,13 +255,13 @@ func (a *Automaton) AllMatches(text []int32, f func(start int, pat int32)) {
 	for j, s := range text {
 		cur = a.step(cur, s)
 		v := cur
-		if a.nodes[v].out < 0 {
-			v = a.nodes[v].outLink
+		if a.out[v] < 0 {
+			v = a.outLink[v]
 		}
 		for v >= 0 {
-			pi := a.nodes[v].out
+			pi := a.out[v]
 			f(j-len(a.patterns[pi])+1, pi)
-			v = a.nodes[v].outLink
+			v = a.outLink[v]
 		}
 	}
 }

@@ -59,6 +59,20 @@ func (e *Encoder) Encode(s []byte) []int32 {
 	return out
 }
 
+// EncodeInto maps s to symbol ids in dst, reusing dst's storage when its
+// capacity suffices (the allocation-free sibling of Encode, used by the
+// steady-state match path). It returns the encoded slice.
+func (e *Encoder) EncodeInto(dst []int32, s []byte) []int32 {
+	if cap(dst) < len(s) {
+		return e.Encode(s)
+	}
+	dst = dst[:len(s)]
+	for i, b := range s {
+		dst[i] = e.dense[b]
+	}
+	return dst
+}
+
 // EncodePattern maps a pattern to symbol ids, rejecting out-of-alphabet
 // bytes (a pattern containing them could never match, and the dictionary
 // tables assume valid symbols).

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"pardict/internal/naming"
+)
+
+// mapDict is the pre-freeze representation of a dictionary's scan tables:
+// ordinary Go maps, one per level, as the engine used before the frozen
+// open-addressed layout. It exists only as the measurement baseline for the
+// E15 hot-path experiment (frozen flat tables vs map lookups on the same
+// cascade); nothing in the engine depends on it.
+type mapDict struct {
+	up   []map[uint64]int32
+	down []map[uint64]int32
+}
+
+// buildMapDict expands every frozen table back into a Go map.
+func (d *Dict) buildMapDict() *mapDict {
+	md := &mapDict{
+		up:   make([]map[uint64]int32, len(d.up)),
+		down: make([]map[uint64]int32, len(d.down)),
+	}
+	expand := func(f *naming.Frozen) map[uint64]int32 {
+		m := make(map[uint64]int32, f.Len())
+		f.Range(func(k uint64, v int32) bool {
+			m[k] = v
+			return true
+		})
+		return m
+	}
+	for k := 1; k < len(d.up); k++ {
+		md.up[k] = expand(d.up[k])
+	}
+	for k := 0; k < len(d.down); k++ {
+		md.down[k] = expand(d.down[k])
+	}
+	return md
+}
+
+// BaselineMapMatch runs the identical shrink-and-spawn cascade with every
+// table lookup going through a Go map instead of a frozen flat table, and no
+// prefilter. It is sequential, unpooled, and deliberately mirrors the
+// pre-freeze hot path; E15 uses it as the "map" arm. The returned arrays are
+// plain garbage-collected slices (Release is a no-op on them).
+func (d *Dict) BaselineMapMatch(text []int32) *Result {
+	n := len(text)
+	r := &Result{
+		Len:  make([]int32, n),
+		Name: make([]int32, n),
+		Pat:  make([]int32, n),
+	}
+	for j := range r.Name {
+		r.Name[j] = naming.Empty
+		r.Pat[j] = -1
+	}
+	if n == 0 || d.maxLen == 0 {
+		return r
+	}
+	md := d.mapTables()
+
+	syms := make([][]int32, d.levels)
+	syms[0] = text
+	for k := 1; k < d.levels; k++ {
+		cur := make([]int32, n)
+		prev := syms[k-1]
+		half := 1 << uint(k-1)
+		up := md.up[k]
+		for j := 0; j < n; j++ {
+			if j+2*half > n {
+				cur[j] = naming.None
+				continue
+			}
+			a, b := prev[j], prev[j+half]
+			if a == naming.None || b == naming.None {
+				cur[j] = naming.None
+				continue
+			}
+			if v, ok := up[naming.EncodePair(a, b)]; ok {
+				cur[j] = v
+			} else {
+				cur[j] = naming.None
+			}
+		}
+		syms[k] = cur
+	}
+
+	for k := d.levels - 1; k >= 0; k-- {
+		step := 1 << uint(k)
+		down := md.down[k]
+		level := syms[k]
+		for j := 0; j < n; j++ {
+			l := int(r.Len[j])
+			pos := j + l
+			if pos+step > n {
+				continue
+			}
+			b := level[pos]
+			if b == naming.None {
+				continue
+			}
+			if v, ok := down[naming.EncodePair(r.Name[j], b)]; ok {
+				r.Len[j] = int32(l + step)
+				r.Name[j] = v
+			}
+		}
+	}
+
+	for j := 0; j < n; j++ {
+		if name := r.Name[j]; name != naming.Empty {
+			r.Pat[j] = d.lp[name]
+		}
+	}
+	return r
+}
+
+// mapTables lazily builds (once) and caches the map baseline tables.
+func (d *Dict) mapTables() *mapDict {
+	d.mapOnce.Do(func() { d.mapBase = d.buildMapDict() })
+	return d.mapBase
+}

@@ -37,9 +37,11 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"pardict/internal/naming"
 	"pardict/internal/pram"
+	"pardict/internal/prefilter"
 )
 
 // ErrEmptyPattern reports a zero-length pattern in the dictionary.
@@ -74,6 +76,35 @@ type Dict struct {
 	lp        []int32 // name -> longest pattern that is a prefix of this prefix, or -1
 	nextShort []int32 // pattern -> next shorter pattern that is a proper prefix, or -1
 	patNames  []int32 // pattern -> its full-prefix name
+
+	// filter, when non-nil, screens text positions before the cascade (see
+	// EnablePrefilter). Execution-layer only: never part of Work/Depth.
+	filter *prefilter.Filter
+
+	// Lazily built map-table baseline for the E15 hot-path experiment.
+	mapOnce sync.Once
+	mapBase *mapDict
+}
+
+// EnablePrefilter builds and installs the bit-parallel rare-byte prefilter
+// for subsequent Match/MatchInto calls. Filtered matches report no-match at
+// screened positions, which is exact for Pat (the filter admits every true
+// pattern start) but makes Len/Name lower bounds; MatchLongestPrefix is
+// never filtered. Call before sharing the Dict across goroutines.
+func (d *Dict) EnablePrefilter() {
+	d.filter = prefilter.Build(d.patterns)
+}
+
+// DisablePrefilter removes an installed prefilter.
+func (d *Dict) DisablePrefilter() { d.filter = nil }
+
+// Filtered reports whether a prefilter is installed, and if so its estimated
+// pass rate on random byte text (a planning figure for the Auto mode).
+func (d *Dict) Filtered() (bool, float64) {
+	if d.filter == nil {
+		return false, 1
+	}
+	return true, d.filter.EstimatedPassRate()
 }
 
 // PatternCount reports the number of patterns.

@@ -2,17 +2,39 @@ package naming
 
 import "pardict/internal/pram"
 
+// fib64 is the Fibonacci multiplier 2^64/φ spreading uint64 keys across
+// Frozen's slots (the same constant flathash uses; Frozen never double-hashes
+// with it the way the sharded Table must avoid — see shardMul).
+const fib64 = 0x9E3779B97F4A7C15
+
 // Frozen is an immutable open-addressing view of a Table, built once after
 // preprocessing and used on the matching hot path: a linear-probed
-// power-of-two array beats the general-purpose map on the uint64-key
-// lookups that dominate Match (one probe chain per text position per
-// level). Any value except None may be stored (None marks empty slots).
+// power-of-two layout of three flat arrays — an 8-bit fingerprint array
+// probed first, then parallel key and value arrays. The fingerprint byte
+// settles most probes (hit or miss) inside one cache line of the fps array
+// before the 8-byte key is ever touched, which is what makes the per-level
+// lookups of the cascade cache-resident (EXPERIMENTS.md E15 measures the
+// difference against the map-backed Table). Any value except None may be
+// stored (None is what Lookup returns for absent keys).
 type Frozen struct {
+	fps   []uint8 // 0 = empty slot; otherwise a nonzero hash fingerprint
 	keys  []uint64
 	vals  []int32
 	mask  uint64
 	shift uint
 	n     int
+}
+
+// fingerprint derives the nonzero tag stored in the fps array. It uses hash
+// bits 48..55, disjoint from the top bits that pick the home slot for any
+// table below 2^48 entries, so colliding slots still disagree on the tag
+// with probability ~254/255.
+func fingerprint(h uint64) uint8 {
+	fp := uint8(h >> 48)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
 }
 
 // Freeze builds the open-addressing view. No value in t may equal None.
@@ -23,6 +45,7 @@ func Freeze(c *pram.Ctx, t *Table) *Frozen {
 		size <<= 1
 	}
 	f := &Frozen{
+		fps:  make([]uint8, size),
 		keys: make([]uint64, size),
 		vals: make([]int32, size),
 		mask: uint64(size - 1),
@@ -32,17 +55,16 @@ func Freeze(c *pram.Ctx, t *Table) *Frozen {
 	for s := size; s > 1; s >>= 1 {
 		f.shift--
 	}
-	for i := range f.vals {
-		f.vals[i] = None
-	}
 	t.Range(func(k uint64, v int32) bool {
 		if v == None {
 			panic("naming: Freeze cannot store None values")
 		}
-		i := (k * fib64) >> f.shift
-		for f.vals[i] != None {
+		h := k * fib64
+		i := h >> f.shift
+		for f.fps[i] != 0 {
 			i = (i + 1) & f.mask
 		}
+		f.fps[i] = fingerprint(h)
 		f.keys[i] = k
 		f.vals[i] = v
 		return true
@@ -59,14 +81,16 @@ func (f *Frozen) Len() int { return f.n }
 
 // Get returns the stamp for k.
 func (f *Frozen) Get(k uint64) (int32, bool) {
-	i := (k * fib64) >> f.shift
+	h := k * fib64
+	fp := fingerprint(h)
+	i := h >> f.shift
 	for {
-		v := f.vals[i]
-		if v == None {
+		b := f.fps[i]
+		if b == 0 {
 			return None, false
 		}
-		if f.keys[i] == k {
-			return v, true
+		if b == fp && f.keys[i] == k {
+			return f.vals[i], true
 		}
 		i = (i + 1) & f.mask
 	}
@@ -80,12 +104,24 @@ func (f *Frozen) Lookup(k uint64) int32 {
 
 // Range calls fn for every entry until it returns false.
 func (f *Frozen) Range(fn func(k uint64, v int32) bool) {
-	for i, v := range f.vals {
-		if v == None {
+	for i, b := range f.fps {
+		if b == 0 {
 			continue
 		}
-		if !fn(f.keys[i], v) {
+		if !fn(f.keys[i], f.vals[i]) {
 			return
 		}
 	}
+}
+
+// ToTable rebuilds a map-backed Table with the same entries — the inverse of
+// Freeze, used by the E15 ablation to run the identical cascade through the
+// mutable representation.
+func (f *Frozen) ToTable(c *pram.Ctx) *Table {
+	t := NewTable(c)
+	f.Range(func(k uint64, v int32) bool {
+		t.Put(k, v)
+		return true
+	})
+	return t
 }

@@ -1,0 +1,49 @@
+package naming
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardProbeClustering guards the shard-selection hash against the
+// clustering failure where Table's shard index and flathash's in-shard slot
+// index were derived from the high bits of the same multiplier's product:
+// every key of a shard then collides on its leading slot bits and the shard
+// degrades into a single table-length probe cluster (quadratic builds, seen
+// as a multi-minute hang in the σ=2048 small-alphabet preprocessing). With
+// decorrelated hashes, linear probing at ≤7/8 load keeps probe distances
+// small; the generous bound below is orders of magnitude under the ~n-slot
+// clusters the degenerate hashing produced.
+func TestShardProbeClustering(t *testing.T) {
+	for name, keys := range map[string][]uint64{
+		"pair-encoded": func() []uint64 {
+			// The shape naming tables actually store: EncodePair of small ints.
+			ks := make([]uint64, 0, 1<<16)
+			for a := int32(0); a < 256; a++ {
+				for b := int32(0); b < 256; b++ {
+					ks = append(ks, EncodePair(a, b))
+				}
+			}
+			return ks
+		}(),
+		"random": func() []uint64 {
+			rng := rand.New(rand.NewSource(17))
+			ks := make([]uint64, 1<<16)
+			for i := range ks {
+				ks[i] = rng.Uint64()
+			}
+			return ks
+		}(),
+	} {
+		tab := NewTable(nil)
+		for i, k := range keys {
+			tab.PutIfAbsent(k, int32(i))
+		}
+		for s := range tab.shards {
+			if mp := tab.shards[s].MaxProbe(); mp > 256 {
+				t.Fatalf("%s keys: shard %d max probe distance %d (len %d) — shard/slot hashes correlated?",
+					name, s, mp, tab.shards[s].Len())
+			}
+		}
+	}
+}

@@ -53,6 +53,19 @@ type Pool struct {
 	unparks  int64        // worker wake events (under mu)
 	queueSum int64        // sum of active-phase counts sampled at submit (under mu)
 	queueMax int64        // peak active-phase count at submit (under mu)
+
+	// Prefilter effectiveness counters (see Ctx.NotePrefilter): positions
+	// screened by the bit-parallel prefilter and the subset it proved unable
+	// to start any match, letting the cascade skip them. These are scheduler
+	// statistics, deliberately outside the Work/Depth model — the counted
+	// Work/Depth of a filtered match is byte-identical to the unfiltered one.
+	prefScanned atomic.Int64
+	prefSkipped atomic.Int64
+
+	// phasePool recycles phase descriptors (including their span arrays) so
+	// steady-state submission allocates nothing. See phase.reset for why
+	// recycling is safe with straggling participants.
+	phasePool sync.Pool
 }
 
 // PoolStats is a point-in-time snapshot of a Pool's scheduler counters. All
@@ -63,16 +76,21 @@ type Pool struct {
 // sample per phase, so GrainSum/Phases is the mean grain. QueueSum/QueueMax
 // sample the number of concurrently active phases at each submit — the
 // scheduler's queue occupancy under MatchBatch-style pipelining.
+// PrefilterScanned/PrefilterSkipped count text positions screened by the
+// bit-parallel prefilter and the subset skipped by the cascade; they are
+// execution statistics with no Work/Depth counterpart.
 type PoolStats struct {
-	Phases       int64
-	PooledPhases int64
-	Chunks       int64
-	Steals       int64
-	Parks        int64
-	Unparks      int64
-	GrainSum     int64
-	QueueSum     int64
-	QueueMax     int64
+	Phases           int64
+	PooledPhases     int64
+	Chunks           int64
+	Steals           int64
+	Parks            int64
+	Unparks          int64
+	GrainSum         int64
+	QueueSum         int64
+	QueueMax         int64
+	PrefilterScanned int64
+	PrefilterSkipped int64
 }
 
 // Stats snapshots the pool's scheduler counters. It is cheap enough to call
@@ -80,11 +98,13 @@ type PoolStats struct {
 // at any time, including while phases are in flight.
 func (p *Pool) Stats() PoolStats {
 	s := PoolStats{
-		Phases:       p.phases.Load(),
-		PooledPhases: p.pooled.Load(),
-		Chunks:       p.chunks.Load(),
-		Steals:       p.steals.Load(),
-		GrainSum:     p.grainSum.Load(),
+		Phases:           p.phases.Load(),
+		PooledPhases:     p.pooled.Load(),
+		Chunks:           p.chunks.Load(),
+		Steals:           p.steals.Load(),
+		GrainSum:         p.grainSum.Load(),
+		PrefilterScanned: p.prefScanned.Load(),
+		PrefilterSkipped: p.prefSkipped.Load(),
 	}
 	p.mu.Lock()
 	s.Parks = p.parks
@@ -169,41 +189,98 @@ func (p *Pool) grainFor(n int) int {
 	return g
 }
 
-// phase is one submitted bulk-parallel step.
+// phase is one submitted bulk-parallel step. Phases are recycled through
+// Pool.phasePool; see getPhase for the publication ordering that makes reuse
+// safe against straggling participants.
 type phase struct {
 	n     int
 	grain int
 	body  func(lo, hi int)
-	owner *Ctx // polled for cancellation at chunk granularity
-	track bool // obs was enabled at submit; participants flush counters
+	track bool                // obs was enabled at submit; participants flush counters
+	owner atomic.Pointer[Ctx] // polled for cancellation at chunk granularity
 
+	// spans always has length Pool.procs (fixed at first use, never resliced,
+	// so stale readers can iterate it without synchronization); a submission
+	// using fewer slots leaves the surplus spans empty (hi = 0).
 	spans     []span
 	remaining atomic.Int64 // chunks not yet retired; 0 ⇒ barrier reached
-	done      chan struct{}
+
+	// Barrier: the participant retiring the last chunk sets done under mu and
+	// broadcasts. A mutex/cond pair is used instead of a channel so the phase
+	// object (and thus the barrier) is reusable without reallocation.
+	mu   sync.Mutex
+	cv   *sync.Cond
+	done bool
 }
 
-// span is one participant's contiguous run of grain-aligned chunks. The
-// cursor is advanced by CAS both by its owner and by thieves, so "deque" and
-// "steal" are the same O(1) claim; padding keeps concurrently-claimed
-// cursors off one cache line.
+// span is one participant's contiguous run of chunks, in chunk-index units
+// (chunk i covers elements [i*grain, (i+1)*grain)). The cursor is advanced
+// by CAS both by its owner and by thieves, so "deque" and "steal" are the
+// same O(1) claim; padding keeps concurrently-claimed cursors off one cache
+// line.
+//
+// hi is atomic purely for phase recycling: it is the publication flag of a
+// reinitialized span (zeroed first, stored last). claim loads next before
+// hi, so the only way a claim can succeed is by observing a fully published
+// epoch: a post-barrier straggler either sees hi of its own epoch (dry —
+// the barrier implies every cursor reached its bound) or hi = 0 mid-reinit
+// (dry), or the new epoch's hi, in which case the seq-cst ordering makes
+// every plain reinit write visible and the CAS makes it a legitimate
+// participant of the new submission.
 type span struct {
 	next atomic.Int64
-	hi   int64
+	hi   atomic.Int64
 	_    [48]byte
 }
 
-// claim takes the next chunk of the span, returning its start index or -1
+// claim takes the next chunk of the span, returning its chunk index or -1
 // when the span is dry.
-func (s *span) claim(grain int) int {
+func (s *span) claim() int64 {
 	for {
 		cur := s.next.Load()
-		if cur >= s.hi {
+		if cur >= s.hi.Load() {
 			return -1
 		}
-		if s.next.CompareAndSwap(cur, cur+int64(grain)) {
-			return int(cur)
+		if s.next.CompareAndSwap(cur, cur+1) {
+			return cur
 		}
 	}
+}
+
+// getPhase takes a recycled phase descriptor (or makes one) and
+// reinitializes it for a new submission. Ordering matters — a straggler from
+// the phase's previous use may still probe its spans: every span's hi is
+// zeroed first (making all claims fail), the plain fields and cursors are
+// set next, and each hi is stored last. Stragglers perform no writes without
+// a successful claim, and a successful claim implies they observed the new
+// hi and therefore every reinit write before it.
+func (p *Pool) getPhase(c *Ctx, n, grain, chunks, slots int, body func(lo, hi int)) *phase {
+	ph, _ := p.phasePool.Get().(*phase)
+	if ph == nil {
+		ph = &phase{spans: make([]span, p.procs)}
+		ph.cv = sync.NewCond(&ph.mu)
+	} else {
+		for s := range ph.spans {
+			ph.spans[s].hi.Store(0)
+		}
+	}
+	ph.n, ph.grain, ph.body = n, grain, body
+	ph.track = obs.Enabled()
+	ph.done = false
+	ph.owner.Store(c)
+	ph.remaining.Store(int64(chunks))
+	per, extra := chunks/slots, chunks%slots
+	c0 := 0
+	for s := 0; s < slots; s++ {
+		cnt := per
+		if s < extra {
+			cnt++
+		}
+		ph.spans[s].next.Store(int64(c0))
+		ph.spans[s].hi.Store(int64(c0 + cnt))
+		c0 += cnt
+	}
+	return ph
 }
 
 // run executes body over [0, n) as one phase on the pool, with the submitter
@@ -216,28 +293,9 @@ func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
 	if slots > chunks {
 		slots = chunks
 	}
-	ph := &phase{n: n, grain: grain, body: body, owner: c, done: make(chan struct{})}
-	ph.track = obs.Enabled()
+	ph := p.getPhase(c, n, grain, chunks, slots, body)
 	if ph.track {
 		p.pooled.Add(1)
-	}
-	ph.remaining.Store(int64(chunks))
-	ph.spans = make([]span, slots)
-	per, extra := chunks/slots, chunks%slots
-	c0 := 0
-	for s := 0; s < slots; s++ {
-		cnt := per
-		if s < extra {
-			cnt++
-		}
-		lo := int64(c0 * grain)
-		hi := int64((c0 + cnt) * grain)
-		if hi > int64(n) {
-			hi = int64(n)
-		}
-		ph.spans[s].next.Store(lo)
-		ph.spans[s].hi = hi
-		c0 += cnt
 	}
 
 	if slots > 1 {
@@ -256,41 +314,61 @@ func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
 		}
 	}
 	p.participate(ph, 0)
-	<-ph.done
+	ph.mu.Lock()
+	for !ph.done {
+		ph.cv.Wait()
+	}
+	ph.mu.Unlock()
+	// Barrier reached: every body call has returned, so dropping the closure
+	// and owner references here cannot race with a participant (post-barrier
+	// stragglers can only probe span cursors, which stay dry until reuse).
+	ph.body = nil
+	ph.owner.Store(nil)
+	p.phasePool.Put(ph)
 }
 
 // participate claims and runs chunks of ph until none remain claimable,
 // preferring the slot-th span and stealing from the rest. It detaches the
 // phase from the active list on the way out, so parked workers never respin
-// on a drained phase.
+// on a drained phase. Until a claim succeeds, only the span cursors are
+// touched (the plain phase fields may belong to a recycled submission; a
+// successful claim establishes the happens-before edge that makes them
+// safe to read — see span).
 func (p *Pool) participate(ph *phase, slot int) {
 	ns := len(ph.spans)
 	own := slot % ns
 	// Chunk and steal counts are aggregated locally and flushed with two
 	// atomic adds on the way out, so the per-chunk claim path carries no
-	// shared-counter traffic.
+	// shared-counter traffic. track is snapshotted at the first successful
+	// claim (the flush itself runs after the barrier, when ph may already be
+	// reinitialized for another submission).
 	var chunks, steals int64
+	track := false
 	defer func() {
-		if ph.track && chunks > 0 {
+		if chunks > 0 && track {
 			p.chunks.Add(chunks)
 			p.steals.Add(steals)
 		}
 	}()
 	for {
 		stolen := false
-		lo := ph.spans[own].claim(ph.grain)
-		for d := 1; lo < 0 && d < ns; d++ {
-			lo = ph.spans[(own+d)%ns].claim(ph.grain)
-			stolen = lo >= 0
+		ci := ph.spans[own].claim()
+		for d := 1; ci < 0 && d < ns; d++ {
+			ci = ph.spans[(own+d)%ns].claim()
+			stolen = ci >= 0
 		}
-		if lo < 0 {
+		if ci < 0 {
 			p.detach(ph)
 			return
+		}
+		if chunks == 0 {
+			track = ph.track
 		}
 		chunks++
 		if stolen {
 			steals++
 		}
+		lo := int(ci) * ph.grain
 		hi := lo + ph.grain
 		if hi > ph.n {
 			hi = ph.n
@@ -298,15 +376,23 @@ func (p *Pool) participate(ph *phase, slot int) {
 		// Cancellation is polled per chunk: a canceled phase drains its
 		// remaining chunks without executing them, so the barrier is still
 		// reached and the submitter unblocks within O(grain) element work.
-		if !ph.owner.Canceled() {
+		if !ph.owner.Load().Canceled() {
 			ph.body(lo, hi)
 		}
 		if ph.remaining.Add(-1) == 0 {
-			close(ph.done)
+			ph.mu.Lock()
+			ph.done = true
+			ph.mu.Unlock()
+			ph.cv.Broadcast()
 		}
 	}
 }
 
+// detach removes ph from the active list once a participant finds it dry. A
+// straggler from a previous submission can in principle detach a phase that
+// was just resubmitted (it observed the empty mid-reinit spans); that only
+// costs the new submission its helpers — the submitter always participates
+// and completes the phase alone, so the barrier is still reached.
 func (p *Pool) detach(ph *phase) {
 	p.mu.Lock()
 	for i, a := range p.active {
@@ -344,9 +430,13 @@ func (p *Pool) worker(id int) {
 		// Inherit the submitter's pprof labels (engine, cascade level) so
 		// profiles attribute worker time to the operation being helped.
 		// Labels are only ever set when obs is enabled; a worker keeps its
-		// last labels while parked, which costs no CPU samples.
-		if lp := ph.owner.labelCtx.Load(); lp != nil {
-			pprof.SetGoroutineLabels(*lp)
+		// last labels while parked, which costs no CPU samples. The owner
+		// pointer may belong to a recycled submission or be nil (phase parked
+		// in the free list) — labels are advisory, so any snapshot is fine.
+		if owner := ph.owner.Load(); owner != nil {
+			if lp := owner.labelCtx.Load(); lp != nil {
+				pprof.SetGoroutineLabels(*lp)
+			}
 		}
 		p.participate(ph, id)
 	}

@@ -227,6 +227,51 @@ func (c *Ctx) ForChunk(n int, body func(lo, hi int)) {
 	c.pool.run(c, n, grain, body)
 }
 
+// ForChunkUncounted runs body(lo, hi) over a partition of [0, n) as one
+// parallel phase that charges NO work and NO depth. It exists for execution-
+// layer passes that are not part of the counted algorithm — the bit-parallel
+// prefilter sweep is the only intended user — so the Work/Depth figures of a
+// filtered match stay byte-identical to the unfiltered one. Scheduling,
+// chunking, and cancellation behave exactly like ForChunk.
+func (c *Ctx) ForChunkUncounted(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	grain := c.pool.grainFor(n)
+	if n <= grain {
+		if !c.Canceled() {
+			body(0, n)
+		}
+		return
+	}
+	if c.pool.procs == 1 {
+		for lo := 0; lo < n; lo += grain {
+			if c.Canceled() {
+				return
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			body(lo, hi)
+		}
+		return
+	}
+	c.pool.run(c, n, grain, body)
+}
+
+// NotePrefilter records prefilter effectiveness on the pool's scheduler
+// counters: scanned text positions and the subset the filter let the cascade
+// skip. Like the other scheduler statistics it is obs-gated and entirely
+// outside the Work/Depth model.
+func (c *Ctx) NotePrefilter(scanned, skipped int64) {
+	if !obs.Enabled() {
+		return
+	}
+	c.pool.prefScanned.Add(scanned)
+	c.pool.prefSkipped.Add(skipped)
+}
+
 // Phase charges one unit of depth and w units of work for a step executed
 // inline by f. It exists so sequential glue (e.g. a single table lookup per
 // recursion level) is reflected in the depth accounting. Canceled contexts

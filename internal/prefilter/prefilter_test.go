@@ -1,0 +1,237 @@
+package prefilter
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func enc(s string) []int32 {
+	out := make([]int32, len(s))
+	for i := range s {
+		out[i] = int32(s[i])
+	}
+	return out
+}
+
+func scanAll(f *Filter, text []int32) []uint64 {
+	nw := (len(text) + 63) / 64
+	if nw == 0 {
+		nw = 1
+	}
+	out := make([]uint64, nw)
+	f.ScanWords(text, out, 0, nw)
+	return out
+}
+
+func candidate(bits []uint64, j int) bool {
+	return bits[j/64]&(1<<uint(j%64)) != 0
+}
+
+// naiveStarts marks every position where some pattern literally matches.
+func naiveStarts(patterns [][]int32, text []int32) []bool {
+	out := make([]bool, len(text))
+	for j := range text {
+		for _, p := range patterns {
+			if j+len(p) > len(text) {
+				continue
+			}
+			ok := true
+			for i, s := range p {
+				if text[j+i] != s {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out[j] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestNoFalseNegatives is the filter's soundness oracle: every true match
+// start must survive, on random texts seeded with real occurrences.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		np := 1 + rng.Intn(40)
+		patterns := make([][]int32, np)
+		for i := range patterns {
+			l := 1 + rng.Intn(12)
+			p := make([]int32, l)
+			for k := range p {
+				p[k] = int32(rng.Intn(6)) // tiny alphabet => dense matches
+			}
+			patterns[i] = p
+		}
+		f := Build(patterns)
+		text := make([]int32, 200+rng.Intn(200))
+		for j := range text {
+			text[j] = int32(rng.Intn(6))
+		}
+		// Plant occurrences, including at the very end of the text.
+		for k := 0; k < 10; k++ {
+			p := patterns[rng.Intn(np)]
+			at := rng.Intn(len(text) - len(p) + 1)
+			copy(text[at:], p)
+		}
+		p := patterns[rng.Intn(np)]
+		copy(text[len(text)-len(p):], p)
+
+		cand := scanAll(f, text)
+		for j, matched := range naiveStarts(patterns, text) {
+			if matched && !candidate(cand, j) {
+				t.Fatalf("trial %d: false negative at %d", trial, j)
+			}
+		}
+	}
+}
+
+// TestLargeAlphabetFolding checks soundness when symbols exceed 255 and
+// collide modulo 256.
+func TestLargeAlphabetFolding(t *testing.T) {
+	patterns := [][]int32{{1000, 1256, 3}, {256, 512}}
+	f := Build(patterns)
+	text := []int32{7, 1000, 1256, 3, 256, 512, 744} // 744 ≡ 1000-256 (mod 256)? no: 744&255 = 232
+	cand := scanAll(f, text)
+	if !candidate(cand, 1) || !candidate(cand, 4) {
+		t.Fatal("false negative on large-alphabet match")
+	}
+	// A position whose folded bytes alias a pattern must be a candidate
+	// (false positives are expected, never punished).
+	alias := []int32{1000 + 256, 1256 - 256, 3 + 256}
+	cand = scanAll(f, alias)
+	if !candidate(cand, 0) {
+		t.Fatal("folded alias should survive (filter must fold with &255)")
+	}
+}
+
+// TestOutOfBoundsOffsets checks the tail of the text: buckets whose
+// constrained offsets overrun the text must die, but shorter patterns must
+// still be found near the end.
+func TestOutOfBoundsOffsets(t *testing.T) {
+	patterns := [][]int32{enc("abcdefgh"), enc("z")}
+	f := Build(patterns)
+	text := enc("xxxzabc") // "z" matches at 3; "abcdefgh" cannot fit anywhere
+	cand := scanAll(f, text)
+	if !candidate(cand, 3) {
+		t.Fatal("false negative for length-1 pattern near end")
+	}
+	// Position 4 starts "abc" but the 8-symbol pattern overruns; whether it
+	// survives depends on which offsets were picked — only soundness is
+	// required. A text of pure filler must produce no candidates at all.
+	filler := enc("qqqqqqqqqqqq")
+	for _, w := range scanAll(f, filler) {
+		if w != 0 {
+			t.Fatal("filler text produced candidates for unrelated patterns")
+		}
+	}
+}
+
+func TestEmptyPatternSet(t *testing.T) {
+	if Build(nil) != nil {
+		t.Fatal("empty pattern set must build a nil filter")
+	}
+}
+
+// TestSelectivityOnRandomText checks the filter actually filters: on random
+// text over a byte alphabet with a handful of long patterns, nearly all
+// positions must be screened out, and the measured pass rate must be within
+// an order of magnitude of EstimatedPassRate.
+func TestSelectivityOnRandomText(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	patterns := make([][]int32, 20)
+	for i := range patterns {
+		p := make([]int32, 8+rng.Intn(8))
+		for k := range p {
+			p[k] = int32(rng.Intn(256))
+		}
+		patterns[i] = p
+	}
+	f := Build(patterns)
+	text := make([]int32, 1<<16)
+	for j := range text {
+		text[j] = int32(rng.Intn(256))
+	}
+	cand := scanAll(f, text)
+	pass := 0
+	for _, w := range cand {
+		pass += bits.OnesCount64(w)
+	}
+	rate := float64(pass) / float64(len(text))
+	if rate > 0.05 {
+		t.Fatalf("filter passes %.2f%% of random positions; expected well under 5%%", 100*rate)
+	}
+	est := f.EstimatedPassRate()
+	if rate > 0 && (rate/est > 30 || est/rate > 30) {
+		t.Fatalf("estimate %.5f and measured %.5f disagree wildly", est, rate)
+	}
+}
+
+// TestBucketCap: at most 36 distinct offset pairs exist within the window.
+func TestBucketCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	patterns := make([][]int32, 500)
+	for i := range patterns {
+		p := make([]int32, 1+rng.Intn(16))
+		for k := range p {
+			p[k] = int32(rng.Intn(256))
+		}
+		patterns[i] = p
+	}
+	f := Build(patterns)
+	if f.Buckets() > 36 {
+		t.Fatalf("%d buckets; offset pairs within a window of 8 admit at most 36", f.Buckets())
+	}
+}
+
+// TestScanWordsBoundarySplit pins the specialized interior-word loop against
+// a plain reference scan for text lengths straddling every combination of
+// word boundary and window tail, so the interior/tail split cannot drift.
+func TestScanWordsBoundarySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var patterns [][]int32
+	for i := 0; i < 20; i++ {
+		p := make([]int32, 1+rng.Intn(12))
+		for k := range p {
+			p[k] = int32(rng.Intn(256))
+		}
+		patterns = append(patterns, p)
+	}
+	f := Build(patterns)
+
+	reference := func(text []int32, j int) bool {
+		v := ^uint64(0)
+		for _, o := range f.constrained {
+			if j+o < len(text) {
+				v &= f.tab[o][byte(text[j+o]&255)]
+			} else {
+				v &= f.wild[o]
+			}
+		}
+		return v != 0
+	}
+
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 129, 64 - window, 64 + window,
+		128 - window + 1, 192, 200} {
+		text := make([]int32, n)
+		for j := range text {
+			text[j] = int32(rng.Intn(256))
+		}
+		got := scanAll(f, text)
+		for j := 0; j < n; j++ {
+			if candidate(got, j) != reference(text, j) {
+				t.Fatalf("n=%d pos %d: ScanWords=%v reference=%v", n, j, candidate(got, j), reference(text, j))
+			}
+		}
+		// Bits past the end of the text must be clear.
+		for j := n; j < len(got)*64; j++ {
+			if candidate(got, j) {
+				t.Fatalf("n=%d: stray candidate bit at %d past end of text", n, j)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pardict
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"pardict/internal/alpha"
@@ -29,6 +30,12 @@ type Matcher struct {
 	small   *smallalpha.Matcher
 	binary  *smallalpha.BinaryMatcher
 	equal   *multimatch.Matcher
+
+	// filtered reports that the general engine's bit-parallel prefilter is
+	// active (WithPrefilter). Filtered matchers withhold PrefixLen: the
+	// prefilter screens positions where no pattern can start, which keeps
+	// pattern output exact but makes prefix lengths lower bounds.
+	filtered bool
 
 	// Proper-prefix chain for all-matches expansion: nextShorter[p] = the
 	// longest pattern that is a proper prefix of pattern p, or -1.
@@ -115,28 +122,101 @@ func NewMatcher(patterns [][]byte, opts ...Option) (*Matcher, error) {
 	if err := m.buildChain(); err != nil {
 		return nil, err
 	}
+	m.applyPrefilter()
 	m.buildStats = statsOf(ctx)
 	return m, nil
 }
 
+// autoPrefilterRate is the estimated-pass-rate ceiling below which
+// PrefilterAuto keeps the filter: above it, the screen would admit too many
+// positions to pay for its scan.
+const autoPrefilterRate = 0.25
+
+// applyPrefilter installs the prefilter on the general engine per the
+// configured mode. Prefiltering is an execution-layer optimization: it never
+// changes the counted Work/Depth of a match (the screen runs in uncounted
+// phases) and never changes Longest/All/FindAll output; it does withhold
+// PrefixLen (see Matcher.filtered).
+func (m *Matcher) applyPrefilter() {
+	if m.general == nil || m.cfg.prefilter == PrefilterOff {
+		return
+	}
+	m.general.EnablePrefilter()
+	if m.cfg.prefilter == PrefilterAuto {
+		if _, rate := m.general.Filtered(); rate > autoPrefilterRate {
+			m.general.DisablePrefilter()
+			return
+		}
+	}
+	m.filtered = true
+}
+
 // rejectDuplicates enforces pattern distinctness for engines that would
-// otherwise silently collapse duplicates.
+// otherwise silently collapse duplicates. It sorts pattern indices
+// lexicographically and compares neighbours — no per-pattern key
+// materialization — and reports the same witness the old map scan did: among
+// the first duplicated pattern (by smallest earliest index), its two lowest
+// indices.
 func rejectDuplicates(encoded [][]int32) error {
-	seen := map[string]int{}
-	for i, p := range encoded {
-		b := make([]byte, 4*len(p))
-		for k, v := range p {
-			b[4*k], b[4*k+1], b[4*k+2], b[4*k+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	n := len(encoded)
+	if n < 2 {
+		return nil
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := encoded[idx[a]], encoded[idx[b]]
+		for k := 0; k < len(pa) && k < len(pb); k++ {
+			if pa[k] != pb[k] {
+				return pa[k] < pb[k]
+			}
 		}
-		if prev, ok := seen[string(b)]; ok {
-			return &core.DuplicateError{First: prev, Second: i}
+		if len(pa) != len(pb) {
+			return len(pa) < len(pb)
 		}
-		seen[string(b)] = i
+		return idx[a] < idx[b] // stabilize equal groups by index
+	})
+	var dup *core.DuplicateError
+	for s := 0; s < n; {
+		e := s + 1
+		for e < n && equalPats(encoded[idx[s]], encoded[idx[e]]) {
+			e++
+		}
+		if e-s > 1 {
+			// Group is index-sorted (comparator tie-break). The insertion-order
+			// map scan reported the earliest second occurrence across all
+			// patterns, paired with that pattern's first index — so pick the
+			// group whose second-smallest index is minimal.
+			first, second := int(idx[s]), int(idx[s+1])
+			if dup == nil || second < dup.Second {
+				dup = &core.DuplicateError{First: first, Second: second}
+			}
+		}
+		s = e
+	}
+	if dup != nil {
+		return dup
 	}
 	return nil
 }
 
-// buildChain computes the proper-prefix pattern chain with a trie.
+func equalPats(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildChain computes the proper-prefix pattern chain with a trie, reading
+// the chain back through the sealed CSR view (the NMA array is computed once
+// at seal time).
 func (m *Matcher) buildChain() error {
 	tr := trie.New()
 	ends := make([]int32, len(m.encoded))
@@ -147,16 +227,16 @@ func (m *Matcher) buildChain() error {
 		}
 		ends[i] = node
 	}
-	nma := tr.ComputeNMA()
+	sealed := tr.Seal()
 	m.nextShorter = make([]int32, len(m.encoded))
 	for i, node := range ends {
-		parent := tr.Parent(node)
+		parent := sealed.Parent(node)
 		if parent == trie.None {
 			m.nextShorter[i] = -1
 			continue
 		}
-		if up := nma[parent]; up != trie.None {
-			m.nextShorter[i] = tr.PatternAt(up)
+		if up := sealed.NearestMarked(parent); up != trie.None {
+			m.nextShorter[i] = sealed.PatternAt(up)
 		} else {
 			m.nextShorter[i] = -1
 		}
@@ -182,12 +262,27 @@ func (m *Matcher) Size() int { return m.total }
 // BuildStats reports the instrumented preprocessing cost.
 func (m *Matcher) BuildStats() Stats { return m.buildStats }
 
-// Matches is the per-position result of one Match call.
+// Matches is the per-position result of one Match call. A Matches may be
+// reused across calls via Matcher.MatchInto and returned to the buffer pools
+// with Release; both are optional (an abandoned Matches is ordinary garbage).
 type Matches struct {
 	m     *Matcher
+	res   *core.Result // general engine: owns the pat/plen storage
 	pat   []int32
-	plen  []int32 // longest dictionary-prefix length (general engine only)
+	plen  []int32 // longest dictionary-prefix length (general engine, unfiltered)
+	enc   []int32 // reusable text-encoding buffer (MatchInto steady state)
 	stats Stats
+}
+
+// Release returns the Matches' pooled buffers for reuse by later matches.
+// The caller must not use r (or any value read from it) afterwards.
+func (r *Matches) Release() {
+	if r.res != nil {
+		r.res.Release()
+		r.res = nil
+	}
+	pram.ReleaseInt32(r.enc)
+	r.pat, r.plen, r.enc = nil, nil, nil
 }
 
 // Match scans text and reports, per position, the longest pattern starting
@@ -206,10 +301,10 @@ func (m *Matcher) Match(text []byte) *Matches {
 // matches on the same pool are unaffected.
 func (m *Matcher) MatchContext(gctx context.Context, text []byte) (*Matches, error) {
 	ctx := m.cfg.newCtxFor(gctx)
-	var out *Matches
+	out := &Matches{}
 	obs.Do(gctx, func(lctx context.Context) {
 		ctx.SetLabelContext(lctx)
-		out = m.matchOn(ctx, text)
+		m.matchOn(ctx, out, text)
 	}, "engine", m.engine.String(), "op", "match")
 	if err := canceledErr(ctx); err != nil {
 		return nil, err
@@ -225,14 +320,28 @@ func (m *Matcher) SchedulerStats() SchedulerStats {
 }
 
 // matchOn runs the configured engine over text on an already-bound execution
-// context. The result is only meaningful if ctx was not canceled.
-func (m *Matcher) matchOn(ctx *pram.Ctx, text []byte) *Matches {
-	enc := m.enc.Encode(text)
-	out := &Matches{m: m}
+// context, writing into out and reusing out's pooled buffers when their
+// capacity suffices. The result is only meaningful if ctx was not canceled.
+func (m *Matcher) matchOn(ctx *pram.Ctx, out *Matches, text []byte) {
+	out.m = m
+	if cap(out.enc) < len(text) {
+		pram.ReleaseInt32(out.enc)
+		out.enc = pram.AcquireInt32(len(text))
+	}
+	out.enc = m.enc.EncodeInto(out.enc, text)
+	enc := out.enc
 	switch m.engine {
 	case EngineGeneral:
-		r := m.general.Match(ctx, enc)
-		out.pat, out.plen = r.Pat, r.Len
+		if out.res == nil {
+			out.res = &core.Result{}
+		}
+		m.general.MatchInto(ctx, enc, out.res)
+		out.pat = out.res.Pat
+		if m.filtered {
+			out.plen = nil // filtered prefix lengths are lower bounds; withhold
+		} else {
+			out.plen = out.res.Len
+		}
 	case EngineSmallAlphabet:
 		if m.binary != nil {
 			out.pat = m.binary.Match(ctx, enc)
@@ -243,7 +352,21 @@ func (m *Matcher) matchOn(ctx *pram.Ctx, text []byte) *Matches {
 		out.pat = m.equal.Match(ctx, enc)
 	}
 	out.stats = statsOf(ctx)
-	return out
+}
+
+// MatchInto is Match writing into dst (which may be nil or a Matches from an
+// earlier call), reusing dst's buffers so a warmed matcher performs zero heap
+// allocations per call — the steady-state hot-path entry point. It skips the
+// observability wrapper and context plumbing of MatchContext; use those
+// entry points when tracing or cancellation matter. Returns dst.
+func (m *Matcher) MatchInto(dst *Matches, text []byte) *Matches {
+	if dst == nil {
+		dst = &Matches{}
+	}
+	ctx := pram.GetCtx(m.cfg.schedulerPool())
+	m.matchOn(ctx, dst, text)
+	pram.PutCtx(ctx)
+	return dst
 }
 
 // batchInflight bounds how many texts of one MatchBatch call are matched
@@ -283,10 +406,10 @@ func (m *Matcher) MatchBatch(gctx context.Context, texts [][]byte) ([]*Matches, 
 			defer wg.Done()
 			defer func() { <-sem }()
 			ctx := m.cfg.newCtxFor(gctx)
-			var r *Matches
+			r := &Matches{}
 			obs.Do(gctx, func(lctx context.Context) {
 				ctx.SetLabelContext(lctx)
-				r = m.matchOn(ctx, t)
+				m.matchOn(ctx, r, t)
 			}, "engine", m.engine.String(), "op", "batch")
 			if err := canceledErr(ctx); err != nil {
 				mu.Lock()
@@ -338,7 +461,9 @@ func (r *Matches) Count() int {
 
 // PrefixLen reports the length of the longest dictionary prefix starting at
 // position i — the Step 1 prefix-matching output (Theorem 1). It is
-// available on the general engine; other engines report ok = false.
+// available on the general engine without a prefilter; other engines, and
+// prefiltered matchers (whose screened positions make prefix lengths lower
+// bounds), report ok = false.
 func (r *Matches) PrefixLen(i int) (int, bool) {
 	if r.plen == nil {
 		return 0, false

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pardict
+
+const raceEnabled = false

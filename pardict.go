@@ -72,6 +72,42 @@ func (e Engine) String() string {
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
+// PrefilterMode selects whether the general engine screens text positions
+// with the bit-parallel rare-byte prefilter before running the
+// shrink-and-spawn cascade (see DESIGN.md, "Memory layout & prefilter").
+//
+// The prefilter is an execution-layer optimization: match output
+// (Longest/All/FindAll/Count) and the counted Work/Depth Stats are identical
+// with and without it; its effect shows up in wall-clock time and in the
+// PrefilterScanned/PrefilterSkipped scheduler counters. The one API
+// difference: a filtered matcher withholds Matches.PrefixLen, because
+// screened positions report no-match and prefix lengths would become lower
+// bounds.
+type PrefilterMode int
+
+const (
+	// PrefilterOff (the default) never filters; PrefixLen stays available.
+	PrefilterOff PrefilterMode = iota
+	// PrefilterOn always filters on the general engine.
+	PrefilterOn
+	// PrefilterAuto filters only when the built filter looks selective
+	// (estimated pass rate on random text below 25%).
+	PrefilterAuto
+)
+
+// String names the mode.
+func (p PrefilterMode) String() string {
+	switch p {
+	case PrefilterOff:
+		return "off"
+	case PrefilterOn:
+		return "on"
+	case PrefilterAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("PrefilterMode(%d)", int(p))
+}
+
 // Stats reports the instrumented cost of one operation in PRAM terms:
 // Work is the number of element operations executed across all parallel
 // phases; Depth is the number of dependent phases (parallel time up to
@@ -83,13 +119,14 @@ type Stats struct {
 }
 
 type config struct {
-	procs    int
-	pool     *Pool // caller-supplied scheduler; nil = process-wide shared pool
-	engine   Engine
-	sigma    []byte // dense alphabet; nil = raw bytes (σ = 256)
-	collapse int    // L for the small-alphabet engine; 0 = auto
-	binary   bool   // Theorem 5: re-encode symbols in binary first
-	shards   int    // ShardedMatcher partitions; 0 = auto
+	procs     int
+	pool      *Pool // caller-supplied scheduler; nil = process-wide shared pool
+	engine    Engine
+	sigma     []byte // dense alphabet; nil = raw bytes (σ = 256)
+	collapse  int    // L for the small-alphabet engine; 0 = auto
+	binary    bool   // Theorem 5: re-encode symbols in binary first
+	shards    int    // ShardedMatcher partitions; 0 = auto
+	prefilter PrefilterMode
 }
 
 // Option configures matcher construction.
@@ -136,6 +173,12 @@ func WithCollapse(l int) Option {
 // with EngineSmallAlphabet; WithCollapse then counts bits.
 func WithBinaryExpansion() Option {
 	return func(c *config) { c.binary = true }
+}
+
+// WithPrefilter sets the prefilter mode (default PrefilterOff). Only the
+// general engine consults it; other engines ignore the option.
+func WithPrefilter(mode PrefilterMode) Option {
+	return func(c *config) { c.prefilter = mode }
 }
 
 // WithShards sets the partition count of a ShardedMatcher (ignored by the

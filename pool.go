@@ -54,6 +54,11 @@ func (p *Pool) Close() { p.p.Close() }
 //   - QueueSum / QueueMax: active-phase occupancy sampled at each pooled
 //     submit (mean = QueueSum/PooledPhases) and its peak — how deeply
 //     concurrent operations (e.g. MatchBatch pipelining) overlap.
+//   - PrefilterScanned / PrefilterSkipped: text positions examined by the
+//     bit-parallel prefilter (WithPrefilter) and the subset it screened out
+//     before the cascade. The prefilter is outside the Work/Depth cost
+//     model, so its effectiveness is reported here instead. Populated only
+//     while the observability layer is enabled.
 //
 // Collection is an independent layer: none of these counters feed back into
 // scheduling, and the Work/Depth accounting of Stats is byte-identical
@@ -69,6 +74,9 @@ type SchedulerStats struct {
 	GrainSum     int64
 	QueueSum     int64
 	QueueMax     int64
+
+	PrefilterScanned int64
+	PrefilterSkipped int64
 }
 
 // MeanGrain reports the average chunk grain per phase, or 0 before any phase
@@ -101,5 +109,8 @@ func schedulerStatsOf(p *pram.Pool) SchedulerStats {
 		GrainSum:     st.GrainSum,
 		QueueSum:     st.QueueSum,
 		QueueMax:     st.QueueMax,
+
+		PrefilterScanned: st.PrefilterScanned,
+		PrefilterSkipped: st.PrefilterSkipped,
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package pardict
+
+// raceEnabled reports that this test binary was built with -race. The race
+// runtime defeats sync.Pool caching and adds its own allocations, so
+// alloc-count assertions are meaningless under it.
+const raceEnabled = true

@@ -244,6 +244,9 @@ func LoadMatcher(r io.Reader, opts ...Option) (*Matcher, error) {
 	if err := m.buildChain(); err != nil {
 		return nil, err
 	}
+	// The prefilter is derived state, not part of the save format: rebuild it
+	// from the loaded patterns per the load-time options.
+	m.applyPrefilter()
 	m.buildStats = statsOf(ctx)
 	return m, nil
 }
