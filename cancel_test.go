@@ -290,7 +290,7 @@ func TestStreamCarryShrinks(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if c := cap(s.carry); c > 4*(m.MaxLen()+64) {
+	if c := s.ses.CarryCap(); c > 4*(m.MaxLen()+64) {
 		t.Fatalf("carry capacity %d not shrunk (hold = %d)", c, m.MaxLen()-1)
 	}
 }

@@ -12,6 +12,14 @@
 //	POST   /reload          body = compiled dictionary (Save format); atomic
 //	                        whole-dictionary swap, checksum-verified, fails
 //	                        closed with the old dictionary intact
+//	POST   /stream                 open a tenant stream; 201 + {"id": ...}
+//	POST   /stream/{id}/feed       body = next bytes of the stream; 204, or
+//	                               429 when backpressure holds the body past
+//	                               the request deadline (retryable)
+//	GET    /stream/{id}/events     SSE push of matches; with ?once=1 a single
+//	                               long-poll JSON response instead
+//	DELETE /stream/{id}            close the stream; response carries the
+//	                               drained tail matches
 //	GET    /healthz         liveness + dictionary/shard metadata
 //	GET    /metrics         Prometheus text format: request latency histogram,
 //	                        timeout/cancel/error counters, accumulated engine
@@ -25,6 +33,13 @@
 // empty success. Mutations are cheap log appends; compiled engine rebuilds
 // run on a background reconciler and swap in atomically, so scans never block
 // on writes.
+//
+// Streams are multiplexed: all of them share one pardict.StreamServer over a
+// frozen snapshot of the dictionary, so thousands of mostly-idle streams cost
+// per-stream state plus a bounded queue, not a matcher each. A stream keeps
+// the snapshot it was created against for its whole life; the first stream
+// created after a /patterns or /reload mutation compiles a fresh snapshot.
+// Streams idle past -streamidle are evicted.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // requests get up to -drain to finish, then the process exits.
@@ -63,6 +78,10 @@ func main() {
 		maxBody  = flag.Int64("maxbody", 16<<20, "maximum request body size in bytes")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request scan deadline (0 = none)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+
+		streamIdle   = flag.Duration("streamidle", 5*time.Minute, "evict streams unused this long (0 = never)")
+		streamQueue  = flag.Int("streamqueue", 0, "per-stream feed queue bound in bytes (0 = library default)")
+		streamEvents = flag.Int("streamevents", 1024, "per-stream buffered match events before the oldest drop")
 	)
 	flag.Parse()
 
@@ -71,7 +90,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer m.Close()
-	srv := newServer(m, *maxBody, *timeout)
+	srv := newServer(m, *maxBody, *timeout,
+		streamOpts{idle: *streamIdle, queue: *streamQueue, maxEvents: *streamEvents})
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)

@@ -153,6 +153,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	histogram("pardict_shard_rebuild_seconds", "Wall time per background shard rebuild (process-wide).",
 		shard.GlobalMetrics().RebuildNs)
 
+	active, gen, strm := s.stream.stats()
+	gauge("pardict_stream_sessions", "Open multiplexed streams.", int64(active))
+	gauge("pardict_stream_generation", "Dictionary mutations observed by the streaming tier.", int64(gen))
+	counter("pardict_stream_creates_total", "Streams opened over the tier's lifetime.", s.stream.creates.Load())
+	counter("pardict_stream_evictions_total", "Streams evicted for idleness.", s.stream.evictions.Load())
+	counter("pardict_stream_events_dropped_total", "Match events dropped on full per-stream buffers.", s.stream.dropped.Load())
+	counter("pardict_stream_fed_bytes_total", "Bytes accepted into stream queues (current engine).", strm.FedBytes)
+	counter("pardict_stream_batches_total", "Batched scan phases executed (current engine).", strm.Batches)
+	counter("pardict_stream_batch_streams_total", "Sum of streams per batch (current engine).", strm.BatchStreams)
+	gauge("pardict_stream_queued_bytes", "Bytes queued awaiting a scan phase (current engine).", strm.QueuedBytes)
+	gauge("pardict_stream_carry_bytes", "Hold-back bytes across open sessions (current engine).", strm.CarryBytes)
+	histogram("pardict_stream_latency_seconds", "Chunk accept-to-scan-complete latency (current engine).",
+		obs.HistSnapshot{Bounds: strm.Latency.Bounds, Counts: strm.Latency.Counts,
+			Count: strm.Latency.Count, Sum: strm.Latency.Sum})
+
 	st := s.m.SchedulerStats()
 	counter("pardict_scheduler_phases_total", "Parallel phases issued (including inline short phases).", st.Phases)
 	counter("pardict_scheduler_pooled_phases_total", "Phases fanned out to the worker pool.", st.PooledPhases)
@@ -199,7 +214,15 @@ func (s *server) varsSnapshot() map[string]any {
 	m.mu.Unlock()
 	st := s.m.SchedulerStats()
 	sst := s.m.Stats()
+	active, gen, strm := s.stream.stats()
 	return map[string]any{
+		"stream": map[string]any{
+			"sessions": active, "generation": gen,
+			"creates":        s.stream.creates.Load(),
+			"evictions":      s.stream.evictions.Load(),
+			"events_dropped": s.stream.dropped.Load(),
+			"engine":         strm,
+		},
 		"requests":          reqs,
 		"scan_timeouts":     m.timeouts.Load(),
 		"scan_cancels":      m.cancels.Load(),

@@ -23,22 +23,40 @@ type server struct {
 	timeout time.Duration // per-request matching deadline; 0 = none
 	mux     *http.ServeMux
 	metrics *serverMetrics
+	stream  *streamTier
 }
 
-func newServer(m *pardict.ShardedMatcher, maxBody int64, timeout time.Duration) *server {
+// streamOpts configures the streaming tier (see newStreamTier); zero values
+// select the defaults (no idle eviction, library queue bound, 1024 events).
+type streamOpts struct {
+	idle      time.Duration
+	queue     int
+	maxEvents int
+}
+
+func newServer(m *pardict.ShardedMatcher, maxBody int64, timeout time.Duration, so streamOpts) *server {
 	s := &server{m: m, maxBody: maxBody, timeout: timeout, mux: http.NewServeMux(),
 		metrics: newServerMetrics()}
+	s.stream = newStreamTier(s, so.idle, so.queue, so.maxEvents)
 	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/scanbatch", s.handleScanBatch)
 	s.mux.HandleFunc("/patterns", s.handlePatterns)
 	s.mux.HandleFunc("/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /stream", s.handleStreamCreate)
+	s.mux.HandleFunc("POST /stream/{id}/feed", s.handleStreamFeed)
+	s.mux.HandleFunc("GET /stream/{id}/events", s.handleStreamEvents)
+	s.mux.HandleFunc("DELETE /stream/{id}", s.handleStreamDelete)
 	s.mux.Handle("/debug/vars", expvar.Handler())
 	currentVars.Store(s)
 	publishVars()
 	return s
 }
+
+// Close shuts down the streaming tier (open streams are drained and their
+// engines stopped). Call after the HTTP listener has drained.
+func (s *server) Close() { s.stream.Close() }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -276,11 +294,15 @@ func (s *server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 			err = s.m.Delete([]byte(p))
 		}
 		if err != nil {
+			if out.Applied > 0 {
+				s.stream.bumpGen()
+			}
 			s.metrics.countRequest("patterns", s.writeMutationErr(w, err, out.Applied))
 			return
 		}
 		out.Applied++
 	}
+	s.stream.bumpGen()
 	s.metrics.countRequest("patterns", http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
@@ -307,6 +329,7 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.metrics.countRequest("reload", code)
 		return
 	}
+	s.stream.bumpGen()
 	s.metrics.countRequest("reload", http.StatusOK)
 	s.writeHealth(w)
 }

@@ -41,7 +41,9 @@ func testMatcher(t *testing.T, patterns ...string) *pardict.ShardedMatcher {
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	return newServer(testMatcher(t, "he", "she", "his", "hers"), 1<<20, 30*time.Second)
+	srv := newServer(testMatcher(t, "he", "she", "his", "hers"), 1<<20, 30*time.Second, streamOpts{})
+	t.Cleanup(srv.Close)
+	return srv
 }
 
 func TestScanEndpoint(t *testing.T) {
@@ -107,7 +109,8 @@ func TestScanMethodNotAllowed(t *testing.T) {
 }
 
 func TestScanBodyLimit(t *testing.T) {
-	srv := newServer(testMatcher(t, "x"), 8, 0)
+	srv := newServer(testMatcher(t, "x"), 8, 0, streamOpts{})
+	t.Cleanup(srv.Close)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("this body is way beyond eight bytes"))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
@@ -187,7 +190,8 @@ func TestScanBatchBadBody(t *testing.T) {
 
 func TestScanDeadlineReturns504(t *testing.T) {
 	// A deadline that expires immediately forces the match itself to abort.
-	srv := newServer(testMatcher(t, "needle"), 1<<20, time.Nanosecond)
+	srv := newServer(testMatcher(t, "needle"), 1<<20, time.Nanosecond, streamOpts{})
+	t.Cleanup(srv.Close)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader(strings.Repeat("x", 1<<16)))
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, req)
@@ -414,6 +418,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv.ServeHTTP(httptest.NewRecorder(), req)
 	// And one mutation so the shard gauges move.
 	doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": ["metricpattern"]}`)
+	// And one stream so the streaming-tier metrics move.
+	if rec, _ := doJSON(t, srv, http.MethodPost, "/stream", ""); rec.Code != http.StatusCreated {
+		t.Fatalf("stream create status %d", rec.Code)
+	}
 
 	rec := httptest.NewRecorder()
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
@@ -440,6 +448,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pardict_shard_rebuilds_total",
 		"pardict_shard_pinned_snapshots 0",
 		"pardict_shard_rebuild_seconds_count",
+		"pardict_stream_sessions 1",
+		"pardict_stream_creates_total 1",
+		"pardict_stream_generation 1",
+		"pardict_stream_events_dropped_total 0",
+		"pardict_stream_latency_seconds_count",
 		"pardict_scheduler_phases_total",
 		"pardict_scheduler_steals_total",
 		"pardict_scheduler_parks_total",

@@ -1,6 +1,11 @@
-// Intrusion-detection example: scan synthetic network payloads against a
-// bank of attack signatures of mixed lengths — the workload the paper's
+// Intrusion-detection example: many concurrent network connections scanned
+// against one shared bank of attack signatures — the workload the paper's
 // introduction motivates (many patterns, streamed text, all matches wanted).
+//
+// Each connection is a tenant stream on a single multiplexed StreamServer:
+// one frozen dictionary, per-connection carry state, packets fed as they
+// "arrive" and matches reported with absolute per-connection offsets — even
+// when a signature straddles a packet boundary.
 //
 // Run with: go run ./examples/intrusion
 package main
@@ -9,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"pardict"
 )
@@ -33,17 +40,34 @@ var signatures = [][]byte{
 	[]byte("chmod 777"),
 }
 
+const (
+	connections = 32
+	packets     = 200 // across all connections
+)
+
+// detection is one signature hit on one connection, at an absolute offset in
+// that connection's byte stream.
+type detection struct {
+	conn    int
+	pos     int64
+	pattern int
+}
+
 func main() {
 	m, err := pardict.NewMatcher(signatures)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := m.NewStreamServer()
 
-	// Synthesize payload traffic with attacks injected.
+	// Synthesize per-connection packet traffic with attacks injected. A third
+	// of the attacks are split across two packets — the case a whole-packet
+	// scanner misses and the streaming carry state exists to catch.
 	rng := rand.New(rand.NewSource(7))
-	var traffic []byte
-	var injected int
-	for pkt := 0; pkt < 200; pkt++ {
+	traffic := make([][][]byte, connections) // traffic[conn] = packet payloads
+	var injected, straddled int
+	for pkt := 0; pkt < packets; pkt++ {
+		conn := rng.Intn(connections)
 		n := 64 + rng.Intn(512)
 		body := make([]byte, n)
 		for i := range body {
@@ -51,32 +75,87 @@ func main() {
 		}
 		if rng.Intn(4) == 0 { // 25% of packets carry an attack
 			sig := signatures[rng.Intn(len(signatures))]
-			copy(body[rng.Intn(n-len(sig)):], sig)
+			at := rng.Intn(n - len(sig))
+			copy(body[at:], sig)
 			injected++
+			if rng.Intn(3) == 0 && at > 0 && at+len(sig) < n {
+				// Split the payload mid-signature into two packets.
+				cut := at + 1 + rng.Intn(len(sig)-1)
+				traffic[conn] = append(traffic[conn], body[:cut])
+				body = body[cut:]
+				straddled++
+			}
 		}
-		traffic = append(traffic, body...)
+		traffic[conn] = append(traffic[conn], body)
 	}
 
-	r := m.Match(traffic)
-	fmt.Printf("scanned %d bytes of traffic against %d signatures (engine=%s)\n",
-		len(traffic), m.PatternCount(), m.Engine())
-	fmt.Printf("injected %d attacks\n", injected)
+	// One stream per connection over the shared frozen dictionary; emits are
+	// per-stream, so each connection just appends to its own slice.
+	var mu sync.Mutex
+	var hits []detection
+	var wg sync.WaitGroup
+	var total int64
+	for conn := range traffic {
+		wg.Add(1)
+		go func(conn int, pkts [][]byte) {
+			defer wg.Done()
+			st, err := srv.Open(func(pos int64, pattern int) {
+				mu.Lock()
+				hits = append(hits, detection{conn: conn, pos: pos, pattern: pattern})
+				mu.Unlock()
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range pkts {
+				if err := st.Feed(p); err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				total += int64(len(p))
+				mu.Unlock()
+			}
+			if err := st.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}(conn, traffic[conn])
+	}
+	wg.Wait()
+	stats := srv.Stats()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
 
-	hits := map[string]int{}
-	var buf []int
-	for i := 0; i < r.Len(); i++ {
-		buf = r.All(i, buf[:0])
-		for _, p := range buf {
-			hits[string(m.Pattern(p))]++
-		}
+	fmt.Printf("scanned %d bytes over %d connections against %d signatures (engine=%s)\n",
+		total, connections, m.PatternCount(), m.Engine())
+	fmt.Printf("injected %d attacks (%d split across packet boundaries)\n", injected, straddled)
+
+	counts := map[string]int{}
+	for _, h := range hits {
+		counts[string(m.Pattern(h.pattern))]++
 	}
 	fmt.Println("detections:")
 	for _, sig := range signatures {
-		if c := hits[string(sig)]; c > 0 {
+		if c := counts[string(sig)]; c > 0 {
 			fmt.Printf("  %6d × %q\n", c, sig)
 		}
 	}
-	s := r.Stats()
-	fmt.Printf("stats: work/byte = %.1f, depth = %d\n",
-		float64(s.Work)/float64(len(traffic)), s.Depth)
+
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].conn != hits[j].conn {
+			return hits[i].conn < hits[j].conn
+		}
+		return hits[i].pos < hits[j].pos
+	})
+	fmt.Println("sample per-connection reports:")
+	for i, h := range hits {
+		if i == 5 {
+			fmt.Printf("  ... %d more\n", len(hits)-5)
+			break
+		}
+		fmt.Printf("  conn %2d @ byte %5d: %q\n", h.conn, h.pos, m.Pattern(h.pattern))
+	}
+	fmt.Printf("server: %d sessions served, %d dispatch batches (%.1f streams/batch), %d chunks\n",
+		stats.Opened, stats.Batches,
+		float64(stats.BatchStreams)/float64(max(stats.Batches, 1)), stats.Chunks)
 }

@@ -248,6 +248,44 @@ func (a *Automaton) LongestMatchStarting(text []int32) []int32 {
 	return out
 }
 
+// ScanLongest is the resumable form of LongestMatchStarting: it advances the
+// automaton from state cur across syms, which the caller places at absolute
+// stream positions base, base+1, … The longest pattern starting at position p
+// is recorded in ring[p&mask] (mask = len(ring)-1; len(ring) must be a power
+// of two), using the same update rule as LongestMatchStarting; each slot is
+// reset to -1 when its position is scanned, before any update can target it.
+// The returned state resumes a later call.
+//
+// Ring-reuse contract: a slot is valid from the moment its position is
+// scanned until a younger position aliases it, so len(ring) must be at least
+// the span from the oldest position the caller still intends to read through
+// the newest position scanned. Callers must also guarantee that no match
+// starts before the oldest readable position (for a stream resumed across
+// emissions that holds whenever at least maxLen-1 trailing positions stay
+// unread between calls).
+func (a *Automaton) ScanLongest(cur int32, syms []int32, base int64, ring []int32) int32 {
+	mask := int64(len(ring) - 1)
+	for j, s := range syms {
+		pos := base + int64(j)
+		ring[pos&mask] = -1
+		cur = a.step(cur, s)
+		v := cur
+		if a.out[v] < 0 {
+			v = a.outLink[v]
+		}
+		for v >= 0 {
+			pi := a.out[v]
+			plen := len(a.patterns[pi])
+			slot := (pos - int64(plen) + 1) & mask
+			if q := ring[slot]; q < 0 || plen > len(a.patterns[q]) {
+				ring[slot] = pi
+			}
+			v = a.outLink[v]
+		}
+	}
+	return cur
+}
+
 // AllMatches invokes f(start, patternIndex) for every occurrence of every
 // pattern in the text.
 func (a *Automaton) AllMatches(text []int32, f func(start int, pat int32)) {

@@ -379,6 +379,25 @@ func (t *Set) Delete(raw []byte, enc []int32) error {
 	return nil
 }
 
+// Export returns a copy of every live pattern's raw bytes, in unspecified
+// order. It locks each shard in turn, so the result is per-shard consistent:
+// a write completed before Export began is included, a write racing it is
+// included or not atomically. Used to freeze the live set into an immutable
+// engine (e.g. a streaming snapshot) without replaying the mutation history.
+func (t *Set) Export() [][]byte {
+	t.wmu.RLock()
+	defer t.wmu.RUnlock()
+	var out [][]byte
+	for _, s := range *t.shards.Load() {
+		s.mu.Lock()
+		for key := range s.liveID {
+			out = append(out, []byte(key))
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Has reports whether the pattern is live.
 func (t *Set) Has(raw []byte) bool {
 	t.wmu.RLock()

@@ -12,6 +12,7 @@ import (
 	"pardict/internal/obs"
 	"pardict/internal/pram"
 	"pardict/internal/smallalpha"
+	"pardict/internal/streamcore"
 	"pardict/internal/trie"
 )
 
@@ -41,7 +42,27 @@ type Matcher struct {
 	// longest pattern that is a proper prefix of pattern p, or -1.
 	nextShorter []int32
 
+	// Resumable streaming core (Stream/MatchReader/StreamServer), compiled
+	// lazily on first use so block-only matchers never pay for it. Immutable
+	// once built; shared by every session over this matcher.
+	streamOnce sync.Once
+	stream     *streamcore.Core
+
 	buildStats Stats
+}
+
+// streamCore returns the shared streaming core, compiling it on first use.
+func (m *Matcher) streamCore() *streamcore.Core {
+	m.streamOnce.Do(func() {
+		c, err := streamcore.NewCore(m.encoded, m.enc)
+		if err != nil {
+			// Unreachable: NewMatcher already rejected empty patterns, the
+			// only failure the streaming core can report.
+			panic(fmt.Sprintf("pardict: stream core: %v", err))
+		}
+		m.stream = c
+	})
+	return m.stream
 }
 
 // NewMatcher preprocesses the dictionary (Theorem 3: O(M) work, O(log m)

@@ -124,6 +124,12 @@ func (m *ShardedMatcher) Delete(p []byte) error {
 // Has reports whether p is currently live.
 func (m *ShardedMatcher) Has(p []byte) bool { return m.set.Has(p) }
 
+// LivePatterns returns a copy of every live pattern, in unspecified order —
+// a consistent-per-shard freeze of the current set, suitable for compiling an
+// immutable Matcher (e.g. a streaming-tier snapshot) from the online
+// dictionary.
+func (m *ShardedMatcher) LivePatterns() [][]byte { return m.set.Export() }
+
 // Len reports the number of live patterns.
 func (m *ShardedMatcher) Len() int { return m.set.Stats().Patterns }
 

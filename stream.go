@@ -2,9 +2,11 @@ package pardict
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"pardict/internal/obs"
+	"pardict/internal/streamcore"
 )
 
 // StreamMatcher scans an unbounded input incrementally: feed it chunks of
@@ -13,13 +15,17 @@ import (
 // MaxLen bytes, so the matcher holds back the trailing MaxLen−1 bytes of
 // what it has seen until more input (or Close) arrives.
 //
+// Each byte is scanned exactly once regardless of chunking: the matcher
+// resumes its automaton from the saved state at the carry boundary, so
+// feeding byte-by-byte costs O(1) amortized per byte (it does not re-match
+// the hold-back region on every Feed). Per-stream state is O(carry).
+//
 // A StreamMatcher is single-stream state; use one per stream (the underlying
-// Matcher is shared and immutable). Not safe for concurrent use.
+// Matcher is shared and immutable). Not safe for concurrent use — for many
+// concurrent streams over one dictionary, see StreamServer.
 type StreamMatcher struct {
-	m      *Matcher
+	ses    *streamcore.Session
 	emit   func(pos int64, pattern int)
-	carry  []byte
-	offset int64 // absolute stream offset of carry[0]
 	closed bool
 }
 
@@ -28,7 +34,7 @@ type StreamMatcher struct {
 // offset order; emit receives only the longest pattern per position (use
 // Matcher.All on a block-level Matches if the full set is needed).
 func (m *Matcher) Stream(emit func(pos int64, pattern int)) *StreamMatcher {
-	return &StreamMatcher{m: m, emit: emit}
+	return &StreamMatcher{ses: m.streamCore().NewSession(), emit: emit}
 }
 
 // Feed appends chunk to the stream and emits every match that is now final.
@@ -36,6 +42,11 @@ func (m *Matcher) Stream(emit func(pos int64, pattern int)) *StreamMatcher {
 func (s *StreamMatcher) Feed(chunk []byte) error {
 	return s.FeedContext(context.Background(), chunk)
 }
+
+// streamScanSegment bounds the bytes scanned between cancellation checks in
+// FeedContext/CloseContext: large enough that the per-check overhead
+// vanishes, small enough that cancellation lands within microseconds.
+const streamScanSegment = 4096
 
 // FeedContext is Feed under a context. On cancellation it returns an error
 // wrapping ErrCanceled before emitting anything or advancing the stream: the
@@ -46,42 +57,51 @@ func (s *StreamMatcher) FeedContext(gctx context.Context, chunk []byte) error {
 	if s.closed {
 		return io.ErrClosedPipe
 	}
-	s.carry = append(s.carry, chunk...)
-	hold := s.m.MaxLen() - 1
-	if len(s.carry) <= hold {
+	s.ses.Buffer(chunk)
+	if s.ses.Pending() <= s.ses.Hold() {
+		// Nothing can finalize yet. Scan eagerly all the same — keeping the
+		// automaton caught up is what makes every Feed O(chunk) — but only
+		// under a live context, so a canceled feed stays the documented
+		// no-op with its bytes retained.
+		if gctx == nil || gctx.Err() == nil {
+			s.ses.Scan(0)
+		}
 		return nil
 	}
-	final := len(s.carry) - hold // positions [0, final) are finalized
-	var r *Matches
-	var err error
-	obs.Do(gctx, func(lctx context.Context) {
-		r, err = s.m.MatchContext(lctx, s.carry)
-	}, "op", "stream")
-	if err != nil {
+	if err := s.scan(gctx); err != nil {
 		return err
 	}
-	for j := 0; j < final; j++ {
-		if p, ok := r.Longest(j); ok {
-			s.emit(s.offset+int64(j), p)
-		}
-	}
-	s.offset += int64(final)
-	s.carry = shrinkCarry(s.carry, final)
+	s.ses.EmitFinal(s.emit)
 	return nil
 }
 
-// shrinkCarry drops the finalized prefix of the carry buffer. Reslicing in
-// place would pin the largest buffer any Feed ever produced (the backing
-// array only ever grows); once the live tail is a small fraction of the
-// capacity, copy it into a right-sized allocation instead.
-func shrinkCarry(carry []byte, final int) []byte {
-	rem := len(carry) - final
-	if cap(carry) > 64 && cap(carry) > 4*rem {
-		fresh := make([]byte, rem)
-		copy(fresh, carry[final:])
-		return fresh
+// scan drives the session's automaton over everything buffered, in bounded
+// segments with a cancellation check between them. Scan progress is
+// unobservable (nothing is emitted, Offset does not move), so a canceled call
+// leaves the stream exactly as documented: bytes retained, nothing advanced.
+func (s *StreamMatcher) scan(gctx context.Context) error {
+	var err error
+	obs.Do(gctx, func(context.Context) {
+		for s.ses.Unscanned() > 0 {
+			if err = streamCanceled(gctx); err != nil {
+				return
+			}
+			s.ses.Scan(streamScanSegment)
+		}
+	}, "op", "stream")
+	return err
+}
+
+// streamCanceled reports a dead context as the public streaming error,
+// wrapping both ErrCanceled and the context's own cause.
+func streamCanceled(gctx context.Context) error {
+	if gctx == nil {
+		return nil
 	}
-	return append(carry[:0], carry[final:]...)
+	if cerr := gctx.Err(); cerr != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, cerr)
+	}
+	return nil
 }
 
 // Close flushes the held-back tail, emitting its matches, and invalidates
@@ -97,35 +117,27 @@ func (s *StreamMatcher) CloseContext(gctx context.Context) error {
 	if s.closed {
 		return nil
 	}
-	if len(s.carry) == 0 {
+	if s.ses.Pending() == 0 {
 		s.closed = true
 		return nil
 	}
-	var r *Matches
-	var err error
-	obs.Do(gctx, func(lctx context.Context) {
-		r, err = s.m.MatchContext(lctx, s.carry)
-	}, "op", "stream")
-	if err != nil {
+	if err := streamCanceled(gctx); err != nil {
+		return err
+	}
+	if err := s.scan(gctx); err != nil {
 		return err
 	}
 	s.closed = true
-	for j := 0; j < r.Len(); j++ {
-		if p, ok := r.Longest(j); ok {
-			s.emit(s.offset+int64(j), p)
-		}
-	}
-	s.offset += int64(len(s.carry))
-	s.carry = nil
+	s.ses.Flush(s.emit)
 	return nil
 }
 
 // Offset reports the absolute offset of the next unfinalized position.
-func (s *StreamMatcher) Offset() int64 { return s.offset }
+func (s *StreamMatcher) Offset() int64 { return s.ses.Offset() }
 
 // Pending reports how many bytes are currently held back awaiting
 // finalization.
-func (s *StreamMatcher) Pending() int { return len(s.carry) }
+func (s *StreamMatcher) Pending() int { return s.ses.Pending() }
 
 // MatchReader scans everything from r in blocks of blockSize (≤ 0 selects a
 // default sized well above MaxLen) and emits each match once. It is the

@@ -1,0 +1,87 @@
+package pardict
+
+import (
+	"testing"
+)
+
+// streamBenchMatcher has a deliberately long MaxLen (64) so any
+// O(MaxLen)-per-byte rework in the feed path is 64× visible against the
+// O(1)-amortized contract.
+func streamBenchMatcher(tb testing.TB) *Matcher {
+	tb.Helper()
+	long := make([]byte, 64)
+	for i := range long {
+		long[i] = "abc"[i%3]
+	}
+	m, err := NewMatcher([][]byte{long, []byte("bca"), []byte("cab"), []byte("abcabc")})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// TestStreamTinyChunkWorkIsLinear pins the refactor's core guarantee at the
+// public boundary: feeding N bytes one at a time steps the automaton over
+// exactly N bytes. The pre-refactor StreamMatcher re-matched the whole carry
+// (hold-back included) on every Feed, i.e. ~N·MaxLen work; any regression
+// toward that shows up here as ScannedBytes > N.
+func TestStreamTinyChunkWorkIsLinear(t *testing.T) {
+	m := streamBenchMatcher(t)
+	s := m.Stream(func(int64, int) {})
+	text := make([]byte, 8192)
+	for i := range text {
+		text[i] = "abc"[i%3]
+	}
+	for i := range text {
+		if err := s.Feed(text[i : i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.ses.ScannedBytes(); got != int64(len(text)) {
+		t.Fatalf("fed %d bytes in 1-byte chunks but scanned %d: per-byte feed work is not O(1)",
+			len(text), got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ses.ScannedBytes(); got != int64(len(text)) {
+		t.Fatalf("Close rescanned: %d bytes for %d fed", got, len(text))
+	}
+}
+
+// BenchmarkStreamFeed1Byte is the regression benchmark for the worst
+// chunking: one byte per Feed. Report is ns/byte (SetBytes(1)).
+func BenchmarkStreamFeed1Byte(b *testing.B) {
+	m := streamBenchMatcher(b)
+	var sink int64
+	s := m.Stream(func(pos int64, pat int) { sink += pos })
+	text := []byte("abcabcabc")
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Feed(text[i%3 : i%3+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkStreamFeed4K is the block-chunk baseline the 1-byte case is
+// compared against: per-byte cost should be the same order, not MaxLen apart.
+func BenchmarkStreamFeed4K(b *testing.B) {
+	m := streamBenchMatcher(b)
+	var sink int64
+	s := m.Stream(func(pos int64, pat int) { sink += pos })
+	chunk := make([]byte, 4096)
+	for i := range chunk {
+		chunk[i] = "abc"[i%3]
+	}
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Feed(chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}

@@ -7,55 +7,10 @@ import (
 	"testing"
 )
 
-// TestShrinkCarryBoundaries pins the reallocation policy: small buffers stay
-// in place, large mostly-dead buffers are copied into right-sized ones, and
-// the surviving bytes are always exactly the unfinalized tail.
-func TestShrinkCarryBoundaries(t *testing.T) {
-	fill := func(n int) []byte {
-		b := make([]byte, n)
-		for i := range b {
-			b[i] = byte('a' + i%26)
-		}
-		return b
-	}
-
-	// Small capacity (≤ 64): reslice in place, no copy.
-	small := fill(32)
-	got := shrinkCarry(small, 10)
-	if string(got) != string(fill(32)[10:]) {
-		t.Fatalf("small: wrong tail %q", got)
-	}
-	if &got[0] != &small[0] {
-		t.Fatalf("small carry was reallocated")
-	}
-
-	// Large buffer, live tail > cap/4: still in place.
-	large := fill(1024)
-	got = shrinkCarry(large, 100) // rem = 924 > 256
-	if len(got) != 924 || &got[0] != &large[0] {
-		t.Fatalf("large mostly-live carry should shrink in place")
-	}
-
-	// Large buffer, tiny live tail: reallocated and right-sized.
-	large = fill(1024)
-	got = shrinkCarry(large, 1000) // rem = 24 < 256
-	if string(got) != string(fill(1024)[1000:]) {
-		t.Fatalf("realloc: wrong tail %q", got)
-	}
-	if cap(got) > 64 {
-		t.Fatalf("realloc kept %d cap for 24 live bytes", cap(got))
-	}
-
-	// Everything finalized: empty result, any representation.
-	if got = shrinkCarry(fill(128), 128); len(got) != 0 {
-		t.Fatalf("full finalize left %d bytes", len(got))
-	}
-	// Nothing finalized: unchanged.
-	b := fill(16)
-	if got = shrinkCarry(b, 0); string(got) != string(fill(16)) {
-		t.Fatalf("zero finalize changed carry")
-	}
-}
+// The shrinkCarry reallocation-policy pins live with the implementation in
+// internal/streamcore (TestShrinkCarryBoundaries there); here the policy is
+// asserted at the public session boundary by TestStreamCarryShrinks
+// (cancel_test.go) and TestStreamTinyChunkWorkIsLinear (stream_bench_test.go).
 
 // errAfterReader yields its payload in tiny reads, then a non-EOF error.
 type errAfterReader struct {
