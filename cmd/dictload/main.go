@@ -1,0 +1,492 @@
+// Command dictload drives a running dictserve with an open-loop,
+// fixed-arrival-rate workload and reports coordinated-omission-free latency
+// quantiles against a latency SLO.
+//
+// Open loop means request number i is *scheduled* at start + i/qps and its
+// latency is measured from that scheduled arrival, not from when the client
+// got around to sending it — a server that stalls keeps accruing scheduled
+// arrivals and the backlog shows up as latency, exactly as real traffic
+// would experience it. (A closed loop would politely wait for the server and
+// hide the stall; that bug is coordinated omission.)
+//
+// The workload is multi-tenant and Zipf-skewed: each simulated tenant owns a
+// pattern family seeded into the dictionary up front, request tenants are
+// drawn from a Zipf distribution (a few hot tenants, a long cold tail), and
+// each request is a scan (planted text for the tenant), a mutation (a
+// pattern insert/delete toggle), or a stream feed (a chunk into the
+// tenant's long-lived stream), mixed by -mix weights.
+//
+// One invocation measures one offered load; -sweep measures several in
+// sequence and additionally reports the maximum sustainable QPS — the
+// highest offered level the server absorbed (achieved ≥95% of offered) while
+// meeting the SLO. The JSON report goes to -out ("-" = stdout) and a
+// one-line summary per level goes to stderr, ending in "met=true|false" for
+// scripts to grep.
+//
+// Usage:
+//
+//	dictload -addr localhost:8844 -qps 200 -duration 10s
+//	dictload -addr localhost:8844 -sweep 100,200,400,800 -out BENCH_load.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dictload: ")
+	var (
+		addr      = flag.String("addr", "localhost:8844", "dictserve host:port")
+		qps       = flag.Float64("qps", 200, "offered load, requests per second")
+		sweep     = flag.String("sweep", "", "comma-separated QPS levels to sweep (overrides -qps)")
+		duration  = flag.Duration("duration", 10*time.Second, "measured run length per level")
+		warmup    = flag.Duration("warmup", 2*time.Second, "unmeasured warmup per level")
+		tenants   = flag.Int("tenants", 32, "simulated tenants (each owns a pattern family)")
+		zipfS     = flag.Float64("zipf", 1.2, "Zipf exponent for tenant popularity (>1; higher = more skew)")
+		mix       = flag.String("mix", "90,5,5", "scan,mutate,stream request weights")
+		textLen   = flag.Int("textlen", 4096, "scan text bytes per request")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		sloTarget = flag.Duration("slotarget", 100*time.Millisecond, "latency SLO target")
+		sloObj    = flag.Float64("sloobjective", 0.999, "SLO success-fraction objective")
+		out       = flag.String("out", "-", "JSON report path (- = stdout)")
+		waitReady = flag.Duration("waitready", 0, "poll /healthz this long before starting (0 = no wait)")
+	)
+	flag.Parse()
+
+	base := "http://" + *addr
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 512,
+	}}
+
+	if *waitReady > 0 {
+		if err := waitHealthy(client, base, *waitReady); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levels := []float64{*qps}
+	if *sweep != "" {
+		levels = levels[:0]
+		for _, f := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				log.Fatalf("bad -sweep level %q", f)
+			}
+			levels = append(levels, v)
+		}
+	}
+
+	w := newWorkload(*tenants, *zipfS, *textLen, *seed, weights)
+	if err := w.seedPatterns(client, base); err != nil {
+		log.Fatal(err)
+	}
+
+	report := loadReport{
+		Addr:       *addr,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Tenants:    *tenants,
+		ZipfS:      *zipfS,
+		Mix:        *mix,
+		TextLen:    *textLen,
+		DurationS:  duration.Seconds(),
+		TargetMs:   float64(sloTarget.Nanoseconds()) / 1e6,
+		Objective:  *sloObj,
+	}
+	for _, lv := range levels {
+		res := runLevel(client, base, w, lv, *warmup, *duration, *sloTarget, *sloObj)
+		report.Levels = append(report.Levels, res)
+		fmt.Fprintf(os.Stderr,
+			"dictload: qps=%g achieved=%.1f reqs=%d errs=%d p50=%.2fms p99=%.2fms p999=%.2fms burn=%.2f met=%v\n",
+			lv, res.AchievedQPS, res.Requests, res.Errors,
+			res.P50Ms, res.P99Ms, res.P999Ms, res.BurnRate, res.Met)
+	}
+
+	// The maximum sustainable load: walking the (ascending) sweep, the last
+	// level that was both absorbed (achieved ≥95% of offered — an open-loop
+	// client that cannot push the bytes out is itself saturated) and inside
+	// the SLO, stopping at the first violation. A higher level that happens
+	// to meet the SLO after a lower one violated is luck, not capacity.
+	for _, lv := range report.Levels {
+		if !lv.Met || lv.AchievedQPS < 0.95*lv.OfferedQPS {
+			break
+		}
+		report.MaxSustainableQPS = lv.OfferedQPS
+	}
+	fmt.Fprintf(os.Stderr, "dictload: max sustainable qps=%g (target %v, objective %g)\n",
+		report.MaxSustainableQPS, *sloTarget, *sloObj)
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// loadReport is the -out JSON document.
+type loadReport struct {
+	Addr              string        `json:"addr"`
+	GOMAXPROCS        int           `json:"gomaxprocs"`
+	NumCPU            int           `json:"num_cpu"`
+	Tenants           int           `json:"tenants"`
+	ZipfS             float64       `json:"zipf_s"`
+	Mix               string        `json:"mix"`
+	TextLen           int           `json:"text_len"`
+	DurationS         float64       `json:"duration_s"`
+	TargetMs          float64       `json:"slo_target_ms"`
+	Objective         float64       `json:"slo_objective"`
+	Levels            []levelResult `json:"levels"`
+	MaxSustainableQPS float64       `json:"max_sustainable_qps"`
+}
+
+type levelResult struct {
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Scans       int     `json:"scans"`
+	Mutates     int     `json:"mutates"`
+	Streams     int     `json:"streams"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	BreachFrac  float64 `json:"breach_frac"`
+	BurnRate    float64 `json:"burn_rate"`
+	Met         bool    `json:"met"`
+}
+
+// parseMix turns "90,5,5" into scan/mutate/stream weights.
+func parseMix(s string) ([3]int, error) {
+	var w [3]int
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return w, fmt.Errorf("-mix wants three comma-separated weights, got %q", s)
+	}
+	total := 0
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return w, fmt.Errorf("bad -mix weight %q", p)
+		}
+		w[i] = v
+		total += v
+	}
+	if total == 0 {
+		return w, fmt.Errorf("-mix weights sum to zero")
+	}
+	return w, nil
+}
+
+// workload holds the per-tenant request material, generated once so the hot
+// request path does no text synthesis.
+type workload struct {
+	weights [3]int
+	zipf    *rand.Zipf
+	texts   [][]byte // per tenant: scan text with that tenant's patterns planted
+	pats    []string // per tenant: the pattern toggled by mutate requests
+	chunks  [][]byte // per tenant: stream feed chunk
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	streams map[int]string // tenant → open stream id
+	toggled map[int]bool   // tenant → mutate pattern currently inserted
+}
+
+func newWorkload(tenants int, zipfS float64, textLen int, seed int64, weights [3]int) *workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := &workload{
+		weights: weights,
+		zipf:    rand.NewZipf(rng, zipfS, 1, uint64(tenants-1)),
+		rng:     rng,
+		streams: map[int]string{},
+		toggled: map[int]bool{},
+	}
+	for t := 0; t < tenants; t++ {
+		// A tenant's pattern family: distinctive enough not to collide across
+		// tenants, short enough to match often.
+		fam := make([]string, 4)
+		for i := range fam {
+			fam[i] = fmt.Sprintf("tn%dp%d", t, i)
+		}
+		w.pats = append(w.pats, fmt.Sprintf("tn%dtoggle", t))
+		text := make([]byte, textLen)
+		for i := range text {
+			text[i] = byte('a' + rng.Intn(26))
+		}
+		// Plant ~1 family pattern per 256 bytes so scans produce matches.
+		for i := 0; i+16 < textLen; i += 256 {
+			copy(text[i:], fam[rng.Intn(len(fam))])
+		}
+		w.texts = append(w.texts, text)
+		w.chunks = append(w.chunks, text[:min(512, textLen)])
+	}
+	return w
+}
+
+// seedPatterns inserts every tenant's pattern family up front.
+func (w *workload) seedPatterns(client *http.Client, base string) error {
+	var all []string
+	for t := range w.texts {
+		for i := 0; i < 4; i++ {
+			all = append(all, fmt.Sprintf("tn%dp%d", t, i))
+		}
+	}
+	body, _ := json.Marshal(map[string][]string{"patterns": all})
+	resp, err := client.Post(base+"/patterns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("seeding patterns: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("seeding patterns: status %d", resp.StatusCode)
+	}
+	// Scan gently for a couple of seconds so the seed-triggered background
+	// rebuilds (the bulk insert crosses every shard's rebuild threshold) and
+	// other cold-start costs land before the first measured level, not in it.
+	// Small residual overlays are steady-state by design and stay.
+	settleUntil := time.Now().Add(2 * time.Second)
+	for time.Now().Before(settleUntil) {
+		post(client, base+"/scan?mode=count", "text/plain", []byte("settle"), http.StatusOK)
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+const (
+	opScan = iota
+	opMutate
+	opStream
+)
+
+// next picks the next request: a Zipf-popular tenant and a weighted op.
+func (w *workload) next() (tenant, op int) {
+	w.mu.Lock()
+	tenant = int(w.zipf.Uint64())
+	r := w.rng.Intn(w.weights[0] + w.weights[1] + w.weights[2])
+	w.mu.Unlock()
+	switch {
+	case r < w.weights[0]:
+		op = opScan
+	case r < w.weights[0]+w.weights[1]:
+		op = opMutate
+	default:
+		op = opStream
+	}
+	return tenant, op
+}
+
+// do issues one request and reports whether it succeeded.
+func (w *workload) do(client *http.Client, base string, tenant, op int) bool {
+	switch op {
+	case opScan:
+		return post(client, base+"/scan?mode=count", "text/plain", w.texts[tenant], http.StatusOK)
+	case opMutate:
+		w.mu.Lock()
+		ins := !w.toggled[tenant]
+		w.toggled[tenant] = ins
+		w.mu.Unlock()
+		body, _ := json.Marshal(map[string][]string{"patterns": {w.pats[tenant]}})
+		method := http.MethodPost
+		if !ins {
+			method = http.MethodDelete
+		}
+		req, _ := http.NewRequest(method, base+"/patterns", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode == http.StatusOK
+	default: // opStream: feed the tenant's long-lived stream, opening lazily
+		id, ok := w.streamID(client, base, tenant)
+		if !ok {
+			return false
+		}
+		if post(client, base+"/stream/"+id+"/feed", "application/octet-stream", w.chunks[tenant], http.StatusNoContent) {
+			return true
+		}
+		// The stream may have been idle-evicted; drop it and count the miss.
+		w.mu.Lock()
+		if w.streams[tenant] == id {
+			delete(w.streams, tenant)
+		}
+		w.mu.Unlock()
+		return false
+	}
+}
+
+// streamID returns the tenant's stream id, opening one on first use.
+func (w *workload) streamID(client *http.Client, base string, tenant int) (string, bool) {
+	w.mu.Lock()
+	id, ok := w.streams[tenant]
+	w.mu.Unlock()
+	if ok {
+		return id, true
+	}
+	resp, err := client.Post(base+"/stream", "application/json", nil)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode != http.StatusCreated || json.NewDecoder(resp.Body).Decode(&out) != nil || out.ID == "" {
+		io.Copy(io.Discard, resp.Body)
+		return "", false
+	}
+	w.mu.Lock()
+	if prev, ok := w.streams[tenant]; ok {
+		id = prev // lost the race; orphan ours to idle eviction
+	} else {
+		w.streams[tenant] = out.ID
+		id = out.ID
+	}
+	w.mu.Unlock()
+	return id, true
+}
+
+func post(client *http.Client, url, ctype string, body []byte, want int) bool {
+	resp, err := client.Post(url, ctype, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == want
+}
+
+// runLevel offers qps for warmup+duration and returns stats over the
+// measured window. Requests are dispatched at their scheduled arrival times;
+// latency for request i is measured from its scheduled arrival, so client or
+// server backlog is charged to the requests that queued behind it.
+func runLevel(client *http.Client, base string, w *workload, qps float64,
+	warmup, duration time.Duration, sloTarget time.Duration, sloObj float64) levelResult {
+	interval := time.Duration(float64(time.Second) / qps)
+	total := warmup + duration
+	start := time.Now()
+	measureFrom := start.Add(warmup)
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var errs, scans, mutates, streams int
+	var firstDone, lastDone time.Time
+
+	var wg sync.WaitGroup
+	for i := 0; ; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if sched.After(start.Add(total)) {
+			break
+		}
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		tenant, op := w.next()
+		wg.Add(1)
+		go func(sched time.Time, tenant, op int) {
+			defer wg.Done()
+			ok := w.do(client, base, tenant, op)
+			done := time.Now()
+			if sched.Before(measureFrom) {
+				return // warmup request
+			}
+			lat := done.Sub(sched)
+			mu.Lock()
+			defer mu.Unlock()
+			if firstDone.IsZero() {
+				firstDone = done
+			}
+			lastDone = done
+			if !ok {
+				errs++
+				return
+			}
+			lats = append(lats, lat)
+			switch op {
+			case opScan:
+				scans++
+			case opMutate:
+				mutates++
+			default:
+				streams++
+			}
+		}(sched, tenant, op)
+	}
+	wg.Wait()
+
+	res := levelResult{OfferedQPS: qps, Requests: len(lats), Errors: errs,
+		Scans: scans, Mutates: mutates, Streams: streams}
+	if len(lats) == 0 {
+		return res
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	res.P50Ms, res.P90Ms, res.P99Ms, res.P999Ms = q(0.50), q(0.90), q(0.99), q(0.999)
+	res.MaxMs = float64(lats[len(lats)-1].Nanoseconds()) / 1e6
+	if span := lastDone.Sub(firstDone); span > 0 {
+		res.AchievedQPS = float64(len(lats)+errs-1) / span.Seconds()
+	}
+	breaches := 0
+	for _, l := range lats {
+		if l > sloTarget {
+			breaches++
+		}
+	}
+	breaches += errs // a failed request is never "within target"
+	res.BreachFrac = float64(breaches) / float64(len(lats)+errs)
+	res.BurnRate = res.BreachFrac / (1 - sloObj)
+	res.Met = res.BurnRate <= 1.0
+	return res
+}
+
+// waitHealthy polls /healthz until it answers 200 or the deadline passes.
+func waitHealthy(client *http.Client, base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %v", base, wait)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

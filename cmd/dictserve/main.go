@@ -26,6 +26,16 @@
 //	                        Work/Depth, shard snapshot/rebuild counters, and
 //	                        the scheduler's phase/steal/park/grain counters
 //	GET    /debug/vars      the same state as expvar JSON (plus memstats)
+//	GET    /debug/trace     slowest-N sampled request traces with per-shard,
+//	                        per-phase, and per-stream-chunk span timings
+//	                        (?recent=K adds recently finished traces);
+//	                        sampling is set by -trace (1-in-k, 0 = off)
+//	GET    /debug/pprof/    net/http/pprof handlers, mounted only with -debug
+//
+// /metrics additionally carries a sliding-window latency SLO view
+// (-slotarget/-sloobjective/-slowindow): windowed p50/p99/p999 gauges,
+// breach counts, and the error-budget burn rate, plus pardict_build_info
+// identifying the binary. cmd/dictload drives all of it under load.
 //
 // Scans honor request cancellation (a disconnected client aborts its match
 // within one parallel phase) and the -timeout per-request deadline (exceeding
@@ -64,6 +74,7 @@ import (
 	"time"
 
 	"pardict"
+	"pardict/internal/trace"
 )
 
 func main() {
@@ -82,16 +93,26 @@ func main() {
 		streamIdle   = flag.Duration("streamidle", 5*time.Minute, "evict streams unused this long (0 = never)")
 		streamQueue  = flag.Int("streamqueue", 0, "per-stream feed queue bound in bytes (0 = library default)")
 		streamEvents = flag.Int("streamevents", 1024, "per-stream buffered match events before the oldest drop")
+
+		debugMode    = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		traceEvery   = flag.Int("trace", 1, "trace 1-in-N requests (0 = tracing off)")
+		traceN       = flag.Int("tracen", 32, "slowest traces retained for GET /debug/trace")
+		traceSpans   = flag.Int("tracespans", 256, "span capacity per trace (excess spans are dropped and counted)")
+		sloTarget    = flag.Duration("slotarget", 100*time.Millisecond, "latency SLO target for /scan and /scanbatch")
+		sloObjective = flag.Float64("sloobjective", 0.999, "SLO success-fraction objective")
+		sloWindow    = flag.Duration("slowindow", time.Minute, "sliding window the SLO is measured over")
 	)
 	flag.Parse()
 
+	trace.Default.Configure(*traceEvery, *traceN, *traceSpans)
 	m, err := buildMatcher(*dictPath, *loadPath, *procs, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer m.Close()
 	srv := newServer(m, *maxBody, *timeout,
-		streamOpts{idle: *streamIdle, queue: *streamQueue, maxEvents: *streamEvents})
+		streamOpts{idle: *streamIdle, queue: *streamQueue, maxEvents: *streamEvents},
+		obsOpts{debug: *debugMode, sloTarget: *sloTarget, sloObjective: *sloObjective, sloWindow: *sloWindow})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -3,8 +3,12 @@ package main
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +16,7 @@ import (
 	"pardict"
 	"pardict/internal/obs"
 	"pardict/internal/shard"
+	"pardict/internal/trace"
 )
 
 // latencyBoundsNs are the scan-latency histogram buckets, in nanoseconds:
@@ -73,9 +78,96 @@ func (m *serverMetrics) recordScan(st pardict.Stats, textBytes int) {
 	m.bytes.Add(int64(textBytes))
 }
 
-// handleMetrics renders everything in the Prometheus text exposition format,
-// by hand — the format is a few fmt.Fprintf shapes and pulling in a client
-// library for it would be the project's first dependency.
+// promWriter renders the Prometheus text exposition format, by hand — the
+// format is a few fmt.Fprintf shapes and pulling in a client library for it
+// would be the project's first dependency. It tracks which series names have
+// already had their HELP/TYPE header written, so a name rendered from two
+// code paths (or the same series with different label sets) gets its metadata
+// exactly once per scrape, as the exposition format requires.
+type promWriter struct {
+	w    io.Writer
+	seen map[string]bool
+}
+
+func (pw *promWriter) header(name, typ, help string) {
+	if pw.seen[name] {
+		return
+	}
+	pw.seen[name] = true
+	fmt.Fprintf(pw.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (pw *promWriter) counter(name, help string, v int64) {
+	pw.header(name, "counter", help)
+	fmt.Fprintf(pw.w, "%s %d\n", name, v)
+}
+
+func (pw *promWriter) gauge(name, help string, v int64) {
+	pw.header(name, "gauge", help)
+	fmt.Fprintf(pw.w, "%s %d\n", name, v)
+}
+
+func (pw *promWriter) gaugeF(name, help string, v float64) {
+	pw.header(name, "gauge", help)
+	fmt.Fprintf(pw.w, "%s %g\n", name, v)
+}
+
+// labeled emits one sample of a labeled series; labels alternate key, value
+// and the values are escaped per the exposition format. The header must
+// already carry the right type via a prior header call with the same name.
+func (pw *promWriter) labeled(name, typ, help string, v float64, labels ...string) {
+	pw.header(name, typ, help)
+	var b strings.Builder
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", labels[i], escapeLabel(labels[i+1]))
+	}
+	fmt.Fprintf(pw.w, "%s{%s} %g\n", name, b.String(), v)
+}
+
+func (pw *promWriter) histogram(name, help string, h obs.HistSnapshot) {
+	pw.header(name, "histogram", help)
+	// A snapshot from a never-observed histogram may carry no buckets at all;
+	// it still renders as a valid all-zero histogram.
+	var cum int64
+	for i, b := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(pw.w, "%s_bucket{le=\"%g\"} %d\n", name, float64(b)/1e9, cum)
+	}
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Counts)-1]
+	}
+	fmt.Fprintf(pw.w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(pw.w, "%s_sum %g\n", name, float64(h.Sum)/1e9)
+	fmt.Fprintf(pw.w, "%s_count %d\n", name, h.Count)
+}
+
+// escapeLabel escapes a label value per the text exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// buildVersion resolves the module version recorded in the binary ("dev" for
+// plain `go build` of a working tree).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}
+
+// handleMetrics renders everything through one promWriter, so every series
+// gets HELP/TYPE exactly once regardless of how many samples or call sites
+// contribute to it.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
@@ -83,9 +175,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m := s.metrics
+	pw := &promWriter{w: w, seen: map[string]bool{}}
 
-	fmt.Fprintf(w, "# HELP pardict_requests_total Finished HTTP requests by endpoint and status code (code 0: client gone, nothing written).\n")
-	fmt.Fprintf(w, "# TYPE pardict_requests_total counter\n")
+	pw.labeled("pardict_build_info", "gauge", "Build and runtime identity (value is always 1).", 1,
+		"version", buildVersion(), "go", runtime.Version(),
+		"gomaxprocs", fmt.Sprint(runtime.GOMAXPROCS(0)))
+
 	m.mu.Lock()
 	keys := make([]reqKey, 0, len(m.requests))
 	for k := range m.requests {
@@ -98,31 +193,40 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return keys[i].code < keys[j].code
 	})
 	for _, k := range keys {
-		fmt.Fprintf(w, "pardict_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+		pw.labeled("pardict_requests_total", "counter",
+			"Finished HTTP requests by endpoint and status code (code 0: client gone, nothing written).",
+			float64(m.requests[k]), "endpoint", k.endpoint, "code", fmt.Sprint(k.code))
 	}
 	m.mu.Unlock()
 
-	histogram := func(name, help string, h obs.HistSnapshot) {
-		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
-		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-		var cum int64
-		for i, b := range h.Bounds {
-			cum += h.Counts[i]
-			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(b)/1e9, cum)
-		}
-		cum += h.Counts[len(h.Counts)-1]
-		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.Sum)/1e9)
-		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
-	}
-	histogram("pardict_scan_latency_seconds", "Matching latency per scanned text.", m.scanLatency.Snapshot())
+	pw.histogram("pardict_scan_latency_seconds", "Matching latency per scanned text.", m.scanLatency.Snapshot())
 
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	counter := pw.counter
+	gauge := pw.gauge
+	histogram := pw.histogram
+
+	slo := s.slo.Snapshot()
+	pw.gaugeF("pardict_slo_target_seconds", "Configured latency target.", float64(slo.TargetNs)/1e9)
+	pw.gaugeF("pardict_slo_objective", "Configured success-fraction objective.", slo.Objective)
+	pw.gaugeF("pardict_slo_window_seconds", "Sliding-window length the SLO is measured over.", slo.WindowSeconds)
+	gauge("pardict_slo_requests_window", "Matching requests observed in the current window.", slo.Count)
+	gauge("pardict_slo_breaches_window", "Requests over the latency target in the current window.", slo.Breaches)
+	for _, qv := range []struct {
+		q  string
+		ns int64
+	}{{"0.5", slo.P50}, {"0.9", slo.P90}, {"0.99", slo.P99}, {"0.999", slo.P999}} {
+		pw.labeled("pardict_slo_latency_seconds", "gauge",
+			"Windowed matching-latency quantiles (bucket upper bounds).",
+			float64(qv.ns)/1e9, "quantile", qv.q)
 	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
+	pw.gaugeF("pardict_slo_burn_rate", "Error-budget burn rate ((breach fraction)/(1-objective)); >1 violates the SLO.", slo.BurnRate)
+
+	ts := trace.Default.RecorderStats()
+	gauge("pardict_trace_sample_every", "Trace sampling rate (1-in-k requests; 0 = disabled).", int64(ts.SampleEvery))
+	counter("pardict_trace_started_total", "Request traces begun (sampled in).", ts.Started)
+	counter("pardict_trace_finished_total", "Request traces finished and retained or discarded.", ts.Finished)
+	counter("pardict_trace_sampled_out_total", "Requests skipped by trace sampling.", ts.SampledOut)
+	gauge("pardict_trace_retained", "Traces currently held in the slowest-N reservoir.", int64(ts.Retained))
 
 	counter("pardict_scan_timeouts_total", "Scans aborted by the per-request deadline (HTTP 504).", m.timeouts.Load())
 	counter("pardict_scan_cancels_total", "Scans aborted by client disconnect.", m.cancels.Load())
@@ -133,9 +237,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("pardict_bytes_scanned_total", "Text bytes matched.", m.bytes.Load())
 
 	sst := s.m.Stats()
-	fmt.Fprintf(w, "# HELP pardict_dictionary_info Dictionary shape (value is always 1).\n")
-	fmt.Fprintf(w, "# TYPE pardict_dictionary_info gauge\n")
-	fmt.Fprintf(w, "pardict_dictionary_info{engine=%q} 1\n", "sharded")
+	pw.labeled("pardict_dictionary_info", "gauge", "Dictionary shape (value is always 1).", 1,
+		"engine", "sharded")
 	gauge("pardict_dictionary_patterns", "Live pattern count.", int64(sst.Patterns))
 	gauge("pardict_dictionary_max_len", "Longest live pattern length m (high-water).", int64(sst.MaxLen))
 	gauge("pardict_dictionary_bytes", "Total live pattern size M.", int64(sst.Size))
@@ -215,7 +318,15 @@ func (s *server) varsSnapshot() map[string]any {
 	st := s.m.SchedulerStats()
 	sst := s.m.Stats()
 	active, gen, strm := s.stream.stats()
+	slo := s.slo.Snapshot()
 	return map[string]any{
+		"slo": map[string]any{
+			"target_ms": float64(slo.TargetNs) / 1e6, "objective": slo.Objective,
+			"window_s": slo.WindowSeconds, "requests": slo.Count, "breaches": slo.Breaches,
+			"p50_ms": float64(slo.P50) / 1e6, "p99_ms": float64(slo.P99) / 1e6,
+			"p999_ms": float64(slo.P999) / 1e6, "burn_rate": slo.BurnRate,
+		},
+		"trace": trace.Default.RecorderStats(),
 		"stream": map[string]any{
 			"sessions": active, "generation": gen,
 			"creates":        s.stream.creates.Load(),

@@ -8,10 +8,14 @@ import (
 	"expvar"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"time"
 
 	"pardict"
+	"pardict/internal/obs"
+	"pardict/internal/trace"
 )
 
 // server is the HTTP handler wrapping one sharded matcher. Every method on
@@ -24,6 +28,7 @@ type server struct {
 	mux     *http.ServeMux
 	metrics *serverMetrics
 	stream  *streamTier
+	slo     *obs.SLO // sliding-window latency SLO over /scan and /scanbatch
 }
 
 // streamOpts configures the streaming tier (see newStreamTier); zero values
@@ -34,9 +39,28 @@ type streamOpts struct {
 	maxEvents int
 }
 
-func newServer(m *pardict.ShardedMatcher, maxBody int64, timeout time.Duration, so streamOpts) *server {
+// obsOpts configures the server's observability surface; zero values select
+// the defaults (no pprof, 100ms target at 99.9% over a 60s window).
+type obsOpts struct {
+	debug        bool          // mount net/http/pprof under /debug/pprof/
+	sloTarget    time.Duration // latency target (0 = 100ms)
+	sloObjective float64       // success fraction (0 = 0.999)
+	sloWindow    time.Duration // sliding window (0 = 60s)
+}
+
+func newServer(m *pardict.ShardedMatcher, maxBody int64, timeout time.Duration, so streamOpts, oo obsOpts) *server {
+	if oo.sloTarget <= 0 {
+		oo.sloTarget = 100 * time.Millisecond
+	}
+	if oo.sloObjective <= 0 {
+		oo.sloObjective = 0.999
+	}
+	if oo.sloWindow <= 0 {
+		oo.sloWindow = time.Minute
+	}
 	s := &server{m: m, maxBody: maxBody, timeout: timeout, mux: http.NewServeMux(),
-		metrics: newServerMetrics()}
+		metrics: newServerMetrics(),
+		slo:     obs.NewSLO(oo.sloTarget, oo.sloObjective, oo.sloWindow, 6)}
 	s.stream = newStreamTier(s, so.idle, so.queue, so.maxEvents)
 	s.mux.HandleFunc("/scan", s.handleScan)
 	s.mux.HandleFunc("/scanbatch", s.handleScanBatch)
@@ -49,9 +73,43 @@ func newServer(m *pardict.ShardedMatcher, maxBody int64, timeout time.Duration, 
 	s.mux.HandleFunc("GET /stream/{id}/events", s.handleStreamEvents)
 	s.mux.HandleFunc("DELETE /stream/{id}", s.handleStreamDelete)
 	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	if oo.debug {
+		// net/http/pprof registers on the DefaultServeMux as a side effect of
+		// its import; the server runs its own mux, so the handlers are wired
+		// explicitly — and only when asked for.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	currentVars.Store(s)
 	publishVars()
 	return s
+}
+
+// traceResponse is the GET /debug/trace body: recorder state plus the
+// slowest-N retained traces (and, with ?recent=K, up to K recently finished
+// ones), each with its spans as offsets from the trace start.
+type traceResponse struct {
+	Enabled bool         `json:"enabled"`
+	Stats   trace.Stats  `json:"stats"`
+	Slowest []trace.Info `json:"slowest"`
+	Recent  []trace.Info `json:"recent,omitempty"`
+}
+
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	out := traceResponse{
+		Enabled: trace.Default.Enabled(),
+		Stats:   trace.Default.RecorderStats(),
+		Slowest: trace.Default.Slowest(),
+	}
+	if k, _ := strconv.Atoi(r.URL.Query().Get("recent")); k > 0 {
+		out.Recent = trace.Default.Recent(k)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // Close shuts down the streaming tier (open streams are drained and their
@@ -112,22 +170,34 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	tr := trace.Start("scan")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
+		tr.SetStatus(http.StatusRequestEntityTooLarge)
+		tr.Finish()
 		return
 	}
+	tr.SetArg(int64(len(body)))
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx = trace.NewContext(ctx, tr)
 	t0 := time.Now()
 	res, err := s.m.MatchContext(ctx, body)
-	s.metrics.observeLatency(time.Since(t0))
+	d := time.Since(t0)
+	s.metrics.observeLatency(d)
+	s.slo.Observe(d.Nanoseconds())
 	if err != nil {
-		s.metrics.countRequest("scan", s.writeMatchErr(w, r, err))
+		code := s.writeMatchErr(w, r, err)
+		s.metrics.countRequest("scan", code)
+		tr.SetStatus(code)
+		tr.Finish()
 		return
 	}
 	s.metrics.recordScan(res.Stats(), len(body))
 	s.metrics.countRequest("scan", http.StatusOK)
+	tr.SetStatus(http.StatusOK)
+	tr.Finish()
 	out := s.collect(res, r.URL.Query().Get("mode"))
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(out); err != nil {
@@ -199,22 +269,34 @@ func (s *server) handleScanBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	texts := make([][]byte, len(req.Texts))
+	total := 0
 	for i, t := range req.Texts {
 		texts[i] = []byte(t)
+		total += len(t)
 	}
+	tr := trace.Start("scanbatch")
+	tr.SetArg(int64(total))
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	ctx = trace.NewContext(ctx, tr)
 	t0 := time.Now()
 	results, err := s.m.MatchBatch(ctx, texts)
-	s.metrics.observeLatency(time.Since(t0))
+	d := time.Since(t0)
+	s.metrics.observeLatency(d)
+	s.slo.Observe(d.Nanoseconds())
 	if err != nil {
-		s.metrics.countRequest("scanbatch", s.writeMatchErr(w, r, err))
+		code := s.writeMatchErr(w, r, err)
+		s.metrics.countRequest("scanbatch", code)
+		tr.SetStatus(code)
+		tr.Finish()
 		return
 	}
 	for i, res := range results {
 		s.metrics.recordScan(res.Stats(), len(texts[i]))
 	}
 	s.metrics.countRequest("scanbatch", http.StatusOK)
+	tr.SetStatus(http.StatusOK)
+	tr.Finish()
 	mode := r.URL.Query().Get("mode")
 	out := scanBatchResponse{Results: make([]scanResponse, len(results))}
 	for i, res := range results {

@@ -12,12 +12,14 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"pardict"
+	"pardict/internal/trace"
 )
 
 func testMatcher(t *testing.T, patterns ...string) *pardict.ShardedMatcher {
@@ -41,7 +43,7 @@ func testMatcher(t *testing.T, patterns ...string) *pardict.ShardedMatcher {
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	srv := newServer(testMatcher(t, "he", "she", "his", "hers"), 1<<20, 30*time.Second, streamOpts{})
+	srv := newServer(testMatcher(t, "he", "she", "his", "hers"), 1<<20, 30*time.Second, streamOpts{}, obsOpts{})
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -109,7 +111,7 @@ func TestScanMethodNotAllowed(t *testing.T) {
 }
 
 func TestScanBodyLimit(t *testing.T) {
-	srv := newServer(testMatcher(t, "x"), 8, 0, streamOpts{})
+	srv := newServer(testMatcher(t, "x"), 8, 0, streamOpts{}, obsOpts{})
 	t.Cleanup(srv.Close)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("this body is way beyond eight bytes"))
 	rec := httptest.NewRecorder()
@@ -190,7 +192,7 @@ func TestScanBatchBadBody(t *testing.T) {
 
 func TestScanDeadlineReturns504(t *testing.T) {
 	// A deadline that expires immediately forces the match itself to abort.
-	srv := newServer(testMatcher(t, "needle"), 1<<20, time.Nanosecond, streamOpts{})
+	srv := newServer(testMatcher(t, "needle"), 1<<20, time.Nanosecond, streamOpts{}, obsOpts{})
 	t.Cleanup(srv.Close)
 	req := httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader(strings.Repeat("x", 1<<16)))
 	rec := httptest.NewRecorder()
@@ -587,5 +589,175 @@ func TestRunGracefulShutdown(t *testing.T) {
 	// The listener is closed: new connections must fail.
 	if _, err := http.Post(url+"/scan", "text/plain", strings.NewReader("x")); err == nil {
 		t.Fatal("post-shutdown request succeeded")
+	}
+}
+
+// TestMetricsExpositionLint scrapes /metrics end to end and lints the full
+// output against the text exposition format: every series name gets # HELP
+// and # TYPE exactly once, every sample line belongs to a typed series, and
+// the new build-info / SLO / trace families are present.
+func TestMetricsExpositionLint(t *testing.T) {
+	srv := testServer(t)
+	// Exercise enough endpoints that multi-call-site series (requests_total,
+	// histograms) render several samples each.
+	for _, text := range []string{"ushers", "he", "xhisx"} {
+		srv.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader(text)))
+	}
+	srv.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/scanbatch", strings.NewReader(`{"texts":["she","hers"]}`)))
+	doJSON(t, srv, http.MethodPost, "/patterns", `{"patterns": ["lintpattern"]}`)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+
+	help := map[string]int{}
+	typed := map[string]string{}
+	for ln, line := range strings.Split(body, "\n") {
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "# HELP "):
+			name := strings.Fields(line)[2]
+			help[name]++
+			if help[name] > 1 {
+				t.Fatalf("line %d: duplicate # HELP for %s", ln+1, name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			name, typ := f[2], f[3]
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate # TYPE for %s", ln+1, name)
+			}
+			typed[name] = typ
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		default:
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if b := strings.TrimSuffix(name, suf); b != name && typed[b] == "histogram" {
+					base = b
+					break
+				}
+			}
+			if typed[base] == "" {
+				t.Fatalf("line %d: sample %q has no # TYPE", ln+1, name)
+			}
+		}
+	}
+
+	for _, want := range []string{
+		"pardict_build_info", "pardict_slo_target_seconds", "pardict_slo_objective",
+		"pardict_slo_window_seconds", "pardict_slo_requests_window",
+		"pardict_slo_breaches_window", "pardict_slo_latency_seconds",
+		"pardict_slo_burn_rate", "pardict_trace_sample_every",
+		"pardict_trace_started_total", "pardict_trace_retained",
+	} {
+		if typed[want] == "" {
+			t.Fatalf("series %s missing from scrape", want)
+		}
+	}
+	if !strings.Contains(body, `pardict_build_info{version=`) ||
+		!strings.Contains(body, `gomaxprocs="`+fmt.Sprint(runtime.GOMAXPROCS(0))+`"`) {
+		t.Fatalf("build info sample malformed:\n%s", body[:200])
+	}
+	if !strings.Contains(body, `pardict_slo_latency_seconds{quantile="0.999"}`) {
+		t.Fatal("SLO quantile series missing")
+	}
+	// Five scans observed by the SLO window (3 single + 2 batch texts share 2
+	// matching calls; the SLO counts matching requests).
+	if !strings.Contains(body, "pardict_slo_requests_window 4") {
+		t.Fatalf("SLO window count wrong:\n%s", body)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Fatalf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDebugTraceEndpoint drives sampled scans and checks GET /debug/trace
+// returns them: slowest-N entries carrying per-shard and per-phase spans.
+//
+// Not parallel: trace.Default is process-global.
+func TestDebugTraceEndpoint(t *testing.T) {
+	prev := trace.Default.SampleEvery()
+	trace.Default.Configure(1, 8, 256)
+	defer trace.Default.Configure(prev, 0, 0)
+
+	srv := testServer(t)
+	for i := 0; i < 3; i++ {
+		srv.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/scan", strings.NewReader("ushers and hers")))
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/trace?recent=4", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var out traceResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad /debug/trace JSON: %v\n%s", err, rec.Body.String())
+	}
+	if !out.Enabled || out.Stats.Started < 3 || len(out.Slowest) == 0 {
+		t.Fatalf("trace response = enabled=%v stats=%+v slowest=%d",
+			out.Enabled, out.Stats, len(out.Slowest))
+	}
+	if len(out.Recent) == 0 || len(out.Recent) > 4 {
+		t.Fatalf("recent = %d traces", len(out.Recent))
+	}
+	var scan *trace.Info
+	for i := range out.Slowest {
+		if out.Slowest[i].Name == "scan" {
+			scan = &out.Slowest[i]
+			break
+		}
+	}
+	if scan == nil {
+		t.Fatalf("no scan trace retained: %+v", out.Slowest)
+	}
+	if scan.Status != http.StatusOK || scan.Arg != int64(len("ushers and hers")) {
+		t.Fatalf("scan trace header = %+v", scan)
+	}
+	seen := map[string]int{}
+	for _, sp := range scan.Spans {
+		seen[sp.Name]++
+	}
+	// Only shards holding patterns spawn scan goroutines, so the exact shard
+	// span count tracks the hash spread; at least one plus the merge must show.
+	if seen["encode"] != 1 || seen["shard"] < 1 || seen["shard.base"] < 1 || seen["merge"] != 1 {
+		t.Fatalf("span mix %v: want encode, per-shard, and merge spans", seen)
+	}
+}
+
+// TestPprofGatedByDebugFlag: the pprof handlers exist only with -debug.
+func TestPprofGatedByDebugFlag(t *testing.T) {
+	plain := testServer(t)
+	rec := httptest.NewRecorder()
+	plain.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof without -debug: status %d", rec.Code)
+	}
+
+	dbg := newServer(testMatcher(t, "she"), 1<<20, 30*time.Second, streamOpts{}, obsOpts{debug: true})
+	t.Cleanup(dbg.Close)
+	rec = httptest.NewRecorder()
+	dbg.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("pprof index with -debug: status %d", rec.Code)
 	}
 }

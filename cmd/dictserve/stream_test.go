@@ -191,7 +191,7 @@ func TestStreamSSE(t *testing.T) {
 
 func TestStreamIdleEviction(t *testing.T) {
 	srv := newServer(testMatcher(t, "she"), 1<<20, 30*time.Second,
-		streamOpts{idle: 100 * time.Millisecond})
+		streamOpts{idle: 100 * time.Millisecond}, obsOpts{})
 	t.Cleanup(srv.Close)
 	id := createStream(t, srv)
 	deadline := time.Now().Add(10 * time.Second)
@@ -214,7 +214,7 @@ func TestStreamIdleEviction(t *testing.T) {
 // TestStreamEmptyDictionary: streams over an empty live set are valid — they
 // accept bytes and never match.
 func TestStreamEmptyDictionary(t *testing.T) {
-	srv := newServer(testMatcher(t), 1<<20, 30*time.Second, streamOpts{})
+	srv := newServer(testMatcher(t), 1<<20, 30*time.Second, streamOpts{}, obsOpts{})
 	t.Cleanup(srv.Close)
 	id := createStream(t, srv)
 	feedStream(t, srv, id, "anything at all")
@@ -266,7 +266,7 @@ func TestWriteStreamFeedErrMapping(t *testing.T) {
 // TestStreamServerShutdownDrains: server Close drains open streams' queued
 // work and stops the engines; creating afterwards fails.
 func TestStreamServerShutdownDrains(t *testing.T) {
-	srv := newServer(testMatcher(t, "she"), 1<<20, 30*time.Second, streamOpts{})
+	srv := newServer(testMatcher(t, "she"), 1<<20, 30*time.Second, streamOpts{}, obsOpts{})
 	id := createStream(t, srv)
 	feedStream(t, srv, id, "xshex")
 	srv.Close()

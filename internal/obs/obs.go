@@ -123,6 +123,40 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// observed values: the bound of the bucket where the cumulative count crosses
+// q·Count. Returns 0 with no observations; the overflow bucket reports the
+// largest bound. This is the one quantile implementation in the tree — the
+// stream, SLO, and dictserve views all delegate here.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			break
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the mean observed value (0 with no observations).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
 // Do runs f under the given pprof labels (alternating key, value) when the
 // layer is enabled, so CPU and goroutine profiles attribute the region to
 // them; the labeled context is passed to f so it can be threaded further

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLO tracks a latency service-level objective over a sliding window: every
+// request latency is recorded into the current epoch of a small ring of
+// histograms, and Snapshot merges the in-window epochs into windowed
+// p50/p99/p999 plus an error-budget burn rate against the configured target.
+//
+// The ring decays observations the way SLO math wants — a burst ages out of
+// the window after window/epochs rotations instead of polluting a cumulative
+// histogram forever. Observe takes one short mutex (dictserve's request
+// bookkeeping already serializes on one, and the scan itself dwarfs it);
+// rotation happens lazily inside that same lock, so there is no background
+// goroutine to manage.
+type SLO struct {
+	targetNs  int64
+	objective float64 // e.g. 0.999 ⇒ 0.1% error budget
+	epochNs   int64
+	bounds    []int64
+
+	mu        sync.Mutex
+	epochs    []sloEpoch
+	head      int   // index of the current epoch
+	headStart int64 // UnixNano the current epoch began
+}
+
+type sloEpoch struct {
+	counts   []int64
+	count    int64
+	sum      int64
+	breaches int64
+}
+
+// sloBounds is the latency bucket layout shared by every SLO instance: 50µs
+// exponentially (×1.5) up to ~21s, fine enough that the bucketed p999 is
+// within ~50% of exact at any target in the serving range.
+var sloBounds = ExpBounds(50_000, 1.5, 32)
+
+// NewSLO returns a tracker for "objective of requests complete within target"
+// measured over the trailing window, split into epochs ring slots (more
+// epochs ⇒ smoother decay, more memory; 6 is a fine default).
+func NewSLO(target time.Duration, objective float64, window time.Duration, epochs int) *SLO {
+	if epochs < 2 {
+		epochs = 2
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	if objective <= 0 || objective >= 1 {
+		objective = 0.999
+	}
+	s := &SLO{
+		targetNs:  target.Nanoseconds(),
+		objective: objective,
+		epochNs:   window.Nanoseconds() / int64(epochs),
+		bounds:    sloBounds,
+		epochs:    make([]sloEpoch, epochs),
+		headStart: time.Now().UnixNano(),
+	}
+	for i := range s.epochs {
+		s.epochs[i].counts = make([]int64, len(s.bounds)+1)
+	}
+	return s
+}
+
+// Target returns the latency target.
+func (s *SLO) Target() time.Duration { return time.Duration(s.targetNs) }
+
+// Objective returns the success-fraction objective (e.g. 0.999).
+func (s *SLO) Objective() float64 { return s.objective }
+
+// Window returns the sliding-window length.
+func (s *SLO) Window() time.Duration {
+	return time.Duration(s.epochNs * int64(len(s.epochs)))
+}
+
+// rotate advances the epoch ring to cover now (s.mu held). A gap longer than
+// the whole window resets every epoch in one step.
+func (s *SLO) rotate(now int64) {
+	if gap := now - s.headStart; gap >= s.epochNs*int64(2*len(s.epochs)) {
+		for i := range s.epochs {
+			s.epochs[i].reset()
+		}
+		s.headStart = now - (now-s.headStart)%s.epochNs
+		return
+	}
+	for now-s.headStart >= s.epochNs {
+		s.head = (s.head + 1) % len(s.epochs)
+		s.epochs[s.head].reset()
+		s.headStart += s.epochNs
+	}
+}
+
+func (e *sloEpoch) reset() {
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	e.count, e.sum, e.breaches = 0, 0, 0
+}
+
+// Observe records one request latency in nanoseconds.
+func (s *SLO) Observe(latencyNs int64) {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	s.rotate(now)
+	e := &s.epochs[s.head]
+	i := 0
+	for i < len(s.bounds) && latencyNs > s.bounds[i] {
+		i++
+	}
+	e.counts[i]++
+	e.count++
+	e.sum += latencyNs
+	if latencyNs > s.targetNs {
+		e.breaches++
+	}
+	s.mu.Unlock()
+}
+
+// SLOSnapshot is a point-in-time view of the sliding window.
+type SLOSnapshot struct {
+	TargetNs      int64
+	Objective     float64
+	WindowSeconds float64
+
+	Count    int64 // requests observed in the window
+	Breaches int64 // requests over target in the window
+
+	P50, P90, P99, P999 int64 // windowed latency quantiles, ns (bucket upper bounds)
+	MeanNs              float64
+
+	// BurnRate is the error-budget burn: (breach fraction)/(1−objective).
+	// 1.0 means the budget is being consumed exactly as fast as it accrues;
+	// above 1 the SLO is being violated on the current window.
+	BurnRate float64
+}
+
+// Met reports whether the window currently satisfies the objective.
+func (snap SLOSnapshot) Met() bool { return snap.BurnRate <= 1.0 }
+
+// Snapshot merges the in-window epochs and derives the quantiles and burn
+// rate. Cost is O(epochs × buckets) under the same short mutex as Observe.
+func (s *SLO) Snapshot() SLOSnapshot {
+	now := time.Now().UnixNano()
+	s.mu.Lock()
+	s.rotate(now)
+	merged := HistSnapshot{Bounds: s.bounds, Counts: make([]int64, len(s.bounds)+1)}
+	var breaches int64
+	for i := range s.epochs {
+		e := &s.epochs[i]
+		for b, c := range e.counts {
+			merged.Counts[b] += c
+		}
+		merged.Count += e.count
+		merged.Sum += e.sum
+		breaches += e.breaches
+	}
+	s.mu.Unlock()
+
+	snap := SLOSnapshot{
+		TargetNs:      s.targetNs,
+		Objective:     s.objective,
+		WindowSeconds: s.Window().Seconds(),
+		Count:         merged.Count,
+		Breaches:      breaches,
+		P50:           merged.Quantile(0.50),
+		P90:           merged.Quantile(0.90),
+		P99:           merged.Quantile(0.99),
+		P999:          merged.Quantile(0.999),
+		MeanNs:        merged.Mean(),
+	}
+	if merged.Count > 0 {
+		snap.BurnRate = (float64(breaches) / float64(merged.Count)) / (1 - s.objective)
+	}
+	return snap
+}

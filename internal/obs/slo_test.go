@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	s := HistSnapshot{Bounds: []int64{10, 20, 40}, Counts: []int64{0, 0, 0, 0}}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+	// 4 obs ≤10, 4 in (10,20], 2 overflow.
+	s.Counts = []int64{4, 4, 0, 2}
+	s.Count = 10
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.0, 10},  // target floored to 1 observation
+		{0.25, 10}, // 4th obs still in the first bucket
+		{0.5, 20},  // 5th obs crosses into the second
+		{0.8, 20},
+		{0.999, 40}, // overflow reports the largest bound
+		{1.0, 40},
+	} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Fatalf("q=%v: got %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := s.Mean(); got != 0 { // Sum unset
+		t.Fatalf("mean = %v", got)
+	}
+	s.Sum = 150
+	if got := s.Mean(); got != 15 {
+		t.Fatalf("mean = %v, want 15", got)
+	}
+}
+
+func TestSLOClamps(t *testing.T) {
+	s := NewSLO(time.Millisecond, 2.0, -1, 0)
+	if len(s.epochs) != 2 {
+		t.Fatalf("epochs = %d, want clamp to 2", len(s.epochs))
+	}
+	if s.Window() != time.Minute {
+		t.Fatalf("window = %v, want 1m default", s.Window())
+	}
+	if s.Objective() != 0.999 {
+		t.Fatalf("objective = %v, want 0.999 default", s.Objective())
+	}
+	if s.Target() != time.Millisecond {
+		t.Fatalf("target = %v", s.Target())
+	}
+}
+
+func TestSLOBurnRate(t *testing.T) {
+	// Objective 0.99 ⇒ 1% budget. 100 requests with 2 breaches burns at 2×.
+	s := NewSLO(time.Millisecond, 0.99, time.Minute, 4)
+	for i := 0; i < 98; i++ {
+		s.Observe(100_000) // 100µs, under target
+	}
+	s.Observe(5_000_000)
+	s.Observe(5_000_000)
+	snap := s.Snapshot()
+	if snap.Count != 100 || snap.Breaches != 2 {
+		t.Fatalf("count=%d breaches=%d", snap.Count, snap.Breaches)
+	}
+	if snap.BurnRate < 1.99 || snap.BurnRate > 2.01 {
+		t.Fatalf("burn rate = %v, want ≈2.0", snap.BurnRate)
+	}
+	if snap.Met() {
+		t.Fatal("2× burn must not meet the SLO")
+	}
+	if snap.P50 > snap.P99 || snap.P99 > snap.P999 {
+		t.Fatalf("quantiles not monotone: %+v", snap)
+	}
+	if snap.P50 >= 1_000_000 || snap.P999 < 5_000_000 {
+		t.Fatalf("p50=%d p999=%d implausible for the mix", snap.P50, snap.P999)
+	}
+
+	// All-fast window meets the objective with zero burn.
+	s2 := NewSLO(time.Millisecond, 0.99, time.Minute, 4)
+	s2.Observe(100_000)
+	snap2 := s2.Snapshot()
+	if snap2.BurnRate != 0 || !snap2.Met() {
+		t.Fatalf("fast window: %+v", snap2)
+	}
+}
+
+func TestSLOWindowDecay(t *testing.T) {
+	// 40ms window in 2 epochs: a breach burst must age out after the window
+	// passes (the >2× gap path resets every epoch at once).
+	s := NewSLO(time.Millisecond, 0.999, 40*time.Millisecond, 2)
+	for i := 0; i < 10; i++ {
+		s.Observe(5_000_000)
+	}
+	if snap := s.Snapshot(); snap.Breaches != 10 {
+		t.Fatalf("burst not recorded: %+v", snap)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if snap := s.Snapshot(); snap.Count != 0 || snap.Breaches != 0 || snap.BurnRate != 0 {
+		t.Fatalf("burst did not decay: %+v", snap)
+	}
+	// An empty window trivially meets the objective.
+	if !s.Snapshot().Met() {
+		t.Fatal("empty window must meet the SLO")
+	}
+}
+
+func TestSLOGradualRotation(t *testing.T) {
+	// Epoch-by-epoch rotation (gap < 2×window): observations spread across
+	// epochs survive until their own epoch rotates out.
+	s := NewSLO(time.Millisecond, 0.999, 80*time.Millisecond, 4)
+	s.Observe(100_000)
+	time.Sleep(25 * time.Millisecond) // > one 20ms epoch, < window
+	s.Observe(100_000)
+	if snap := s.Snapshot(); snap.Count != 2 {
+		t.Fatalf("mid-window count = %d, want 2", snap.Count)
+	}
+}
+
+func TestSLORace(t *testing.T) {
+	s := NewSLO(time.Millisecond, 0.999, 20*time.Millisecond, 3)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if w == 0 {
+					s.Snapshot()
+				} else {
+					s.Observe(int64(i%2_000_000 + 1))
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s.Snapshot() // must not panic or deadlock post-hammer
+}

@@ -199,6 +199,15 @@ type phase struct {
 	track bool                // obs was enabled at submit; participants flush counters
 	owner atomic.Pointer[Ctx] // polled for cancellation at chunk granularity
 
+	// traced marks a submission whose Ctx carries a request trace; then
+	// participants bump tsteals inline per stolen chunk (unlike the pool-wide
+	// counters, which are flushed after the barrier and so could not be read
+	// back per phase). Every tsteals.Add precedes that participant's last
+	// chunk retirement, so the submitter's post-barrier load observes all of
+	// them; tracing off costs one predictable branch per steal.
+	traced  bool
+	tsteals atomic.Int64
+
 	// spans always has length Pool.procs (fixed at first use, never resliced,
 	// so stale readers can iterate it without synchronization); a submission
 	// using fewer slots leaves the surplus spans empty (hi = 0).
@@ -266,6 +275,8 @@ func (p *Pool) getPhase(c *Ctx, n, grain, chunks, slots int, body func(lo, hi in
 	}
 	ph.n, ph.grain, ph.body = n, grain, body
 	ph.track = obs.Enabled()
+	ph.traced = c.tr != nil
+	ph.tsteals.Store(0)
 	ph.done = false
 	ph.owner.Store(c)
 	ph.remaining.Store(int64(chunks))
@@ -284,10 +295,11 @@ func (p *Pool) getPhase(c *Ctx, n, grain, chunks, slots int, body func(lo, hi in
 }
 
 // run executes body over [0, n) as one phase on the pool, with the submitter
-// participating. It returns once every chunk has been retired. Chunk starts
-// are always multiples of grain (ExclusiveScan indexes per-chunk partials by
-// lo/grain).
-func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
+// participating. It returns once every chunk has been retired, reporting how
+// many chunks were stolen when the submission is traced (0 otherwise). Chunk
+// starts are always multiples of grain (ExclusiveScan indexes per-chunk
+// partials by lo/grain).
+func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) int64 {
 	chunks := (n + grain - 1) / grain
 	slots := p.procs
 	if slots > chunks {
@@ -319,12 +331,17 @@ func (p *Pool) run(c *Ctx, n, grain int, body func(lo, hi int)) {
 		ph.cv.Wait()
 	}
 	ph.mu.Unlock()
+	var steals int64
+	if ph.traced {
+		steals = ph.tsteals.Load()
+	}
 	// Barrier reached: every body call has returned, so dropping the closure
 	// and owner references here cannot race with a participant (post-barrier
 	// stragglers can only probe span cursors, which stay dry until reuse).
 	ph.body = nil
 	ph.owner.Store(nil)
 	p.phasePool.Put(ph)
+	return steals
 }
 
 // participate claims and runs chunks of ph until none remain claimable,
@@ -367,6 +384,9 @@ func (p *Pool) participate(ph *phase, slot int) {
 		chunks++
 		if stolen {
 			steals++
+			if ph.traced {
+				ph.tsteals.Add(1)
+			}
 		}
 		lo := int(ci) * ph.grain
 		hi := lo + ph.grain

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"pardict/internal/obs"
+	"pardict/internal/trace"
 )
 
 // ErrCanceled is reported by Ctx.Err once the context carried by the Ctx has
@@ -59,6 +60,14 @@ type Ctx struct {
 	// operation; nil (the default, and always when obs is disabled) makes
 	// labeling a single pointer-load no-op.
 	labelCtx atomic.Pointer[context.Context]
+
+	// tr, when non-nil, is the sampled request trace this execution records
+	// phase spans into, set once by the engine wrappers (piggybacking on the
+	// same per-operation plumbing as labelCtx) before any phase is submitted.
+	// Nil — the default, and always on the MatchInto hot path — makes every
+	// trace hook a single nil check, keeping the traced-off execution
+	// byte-identical in Work/Depth and allocation-free.
+	tr *trace.T
 }
 
 // New returns a Ctx that runs parallel phases on the process-wide shared pool
@@ -111,6 +120,15 @@ func (c *Ctx) LabelLevel(k int) {
 	c.labelCtx.Store(&lctx)
 	pprof.SetGoroutineLabels(lctx)
 }
+
+// SetTrace attaches a sampled request trace: every phase this Ctx fans out
+// afterwards records a "phase" span (element count, chunks stolen) into it.
+// Must be called before phases are submitted (it is a plain store read by the
+// submitting goroutine); a nil trace — the default — disables recording.
+func (c *Ctx) SetTrace(t *trace.T) { c.tr = t }
+
+// Trace returns the trace attached via SetTrace, or nil.
+func (c *Ctx) Trace() *trace.T { return c.tr }
 
 // Procs reports the worker-pool width this context fans out to.
 func (c *Ctx) Procs() int { return c.pool.procs }
@@ -204,17 +222,21 @@ func (c *Ctx) ForChunk(n int, body func(lo, hi int)) {
 		c.pool.grainSum.Add(int64(grain))
 	}
 	if n <= grain {
+		// Inline phases are below one chunk of work; spanning each would
+		// flood the trace's fixed span budget with sub-grain entries, so only
+		// fanned-out phases are recorded.
 		if !c.Canceled() {
 			body(0, n)
 		}
 		return
 	}
+	sp := c.tr.StartSpan("phase", int64(n))
 	if c.pool.procs == 1 {
 		// Inline execution, still at chunk granularity so cancellation
 		// aborts a long phase partway through.
 		for lo := 0; lo < n; lo += grain {
 			if c.Canceled() {
-				return
+				break
 			}
 			hi := lo + grain
 			if hi > n {
@@ -222,9 +244,10 @@ func (c *Ctx) ForChunk(n int, body func(lo, hi int)) {
 			}
 			body(lo, hi)
 		}
+		sp.End()
 		return
 	}
-	c.pool.run(c, n, grain, body)
+	sp.EndArg(c.pool.run(c, n, grain, body))
 }
 
 // ForChunkUncounted runs body(lo, hi) over a partition of [0, n) as one
@@ -244,10 +267,11 @@ func (c *Ctx) ForChunkUncounted(n int, body func(lo, hi int)) {
 		}
 		return
 	}
+	sp := c.tr.StartSpan("prefilter", int64(n))
 	if c.pool.procs == 1 {
 		for lo := 0; lo < n; lo += grain {
 			if c.Canceled() {
-				return
+				break
 			}
 			hi := lo + grain
 			if hi > n {
@@ -255,9 +279,10 @@ func (c *Ctx) ForChunkUncounted(n int, body func(lo, hi int)) {
 			}
 			body(lo, hi)
 		}
+		sp.End()
 		return
 	}
-	c.pool.run(c, n, grain, body)
+	sp.EndArg(c.pool.run(c, n, grain, body))
 }
 
 // NotePrefilter records prefilter effectiveness on the pool's scheduler

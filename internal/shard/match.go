@@ -5,6 +5,7 @@ import (
 
 	"pardict/internal/core"
 	"pardict/internal/pram"
+	"pardict/internal/trace"
 )
 
 // shardHit is one shard's per-position output, expressed against its pinned
@@ -44,6 +45,14 @@ type Result struct {
 // is non-nil only when matching was canceled mid-flight (its Err/Cause carry
 // the cancellation); the Result is nil in that case.
 func (t *Set) Match(mk func() *pram.Ctx, enc []int32) (*Result, *pram.Ctx) {
+	return t.MatchTraced(mk, enc, nil)
+}
+
+// MatchTraced is Match recording per-shard, overlay, and merge spans into tr
+// (nil tr records nothing — it is exactly Match). The contexts from mk carry
+// their own trace wiring for phase spans; tr names the coarser structure a
+// trace viewer groups them under.
+func (t *Set) MatchTraced(mk func() *pram.Ctx, enc []int32, tr *trace.T) (*Result, *pram.Ctx) {
 	shards := *t.shards.Load()
 	n := len(enc)
 
@@ -73,9 +82,11 @@ func (t *Set) Match(mk func() *pram.Ctx, enc []int32) (*Result, *pram.Ctx) {
 		wg.Add(1)
 		go func(i int, sn *snapshot) {
 			defer wg.Done()
+			sp := tr.StartSpan("shard", int64(i))
 			c := mk()
 			ctxs[i] = c
-			hits[i] = matchSnapshot(c, sn, enc)
+			hits[i] = matchSnapshot(c, sn, enc, tr, i)
+			sp.End()
 		}(i, sn)
 	}
 	wg.Wait()
@@ -95,6 +106,7 @@ func (t *Set) Match(mk func() *pram.Ctx, enc []int32) (*Result, *pram.Ctx) {
 	}
 
 	// Gather: per-position S-way longest-match merge on its own context.
+	msp := tr.StartSpan("merge", int64(n))
 	mc := mk()
 	r := &Result{
 		Len:   make([]int32, n),
@@ -130,6 +142,7 @@ func (t *Set) Match(mk func() *pram.Ctx, enc []int32) (*Result, *pram.Ctx) {
 	if len(hits) > 1 {
 		mc.AddWork(int64(n) * int64(len(hits)-1))
 	}
+	msp.End()
 	if mc.Canceled() {
 		return nil, mc
 	}
@@ -152,7 +165,7 @@ func entryAt(sn *snapshot, ref int32) Entry {
 // NextShorter chain), and a brute overlay pass for pending inserts — bounded
 // by the reconciliation trigger, so the surcharge never exceeds a constant
 // fraction of the base cost in steady state.
-func matchSnapshot(c *pram.Ctx, sn *snapshot, enc []int32) shardHit {
+func matchSnapshot(c *pram.Ctx, sn *snapshot, enc []int32, tr *trace.T, si int) shardHit {
 	n := len(enc)
 	h := shardHit{sn: sn, refs: make([]int32, n), lens: make([]int32, n)}
 	for j := range h.refs {
@@ -160,7 +173,9 @@ func matchSnapshot(c *pram.Ctx, sn *snapshot, enc []int32) shardHit {
 	}
 
 	if sn.base != nil && sn.base.PatternCount() > 0 {
+		bsp := tr.StartSpan("shard.base", int64(si))
 		h.base = sn.base.Match(c, enc)
+		bsp.End()
 		if c.Canceled() {
 			return h
 		}
@@ -194,6 +209,7 @@ func matchSnapshot(c *pram.Ctx, sn *snapshot, enc []int32) shardHit {
 	}
 
 	if len(sn.adds) > 0 {
+		osp := tr.StartSpan("shard.overlay", int64(si))
 		adds, order := sn.adds, sn.addsDesc
 		c.ForChunk(n, func(lo, hi int) {
 			for j := lo; j < hi; j++ {
@@ -219,6 +235,7 @@ func matchSnapshot(c *pram.Ctx, sn *snapshot, enc []int32) shardHit {
 		if len(adds) > 1 {
 			c.AddWork(int64(n) * int64(len(adds)-1))
 		}
+		osp.EndArg(int64(len(adds)))
 	}
 	return h
 }

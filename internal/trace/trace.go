@@ -1,0 +1,468 @@
+// Package trace is the request-scoped tracing layer: a zero-dependency,
+// sampling span recorder that answers the questions aggregate counters
+// (internal/obs) cannot — *which* request was slow and *where* its time went
+// (which shard, which phase, which stream chunk).
+//
+// Design constraints, in order:
+//
+//  1. Off means off. With tracing disabled (the library default), every hook
+//     is a nil-pointer check: no allocation, no atomic write, no time read.
+//     The counted Work/Depth of a match and the zero-allocation steady state
+//     of Matcher.MatchInto are byte-identical with the layer compiled in
+//     (TestTraceNeutrality proves it).
+//  2. On means cheap. A sampled request allocates one T (trace) with a
+//     fixed-capacity span array up front; recording a span is an atomic slot
+//     claim plus two plain stores, lock-free from any number of goroutines
+//     (the scatter-gather shards and pool workers of one request record
+//     concurrently). Spans past the cap are dropped and counted, never grown.
+//  3. Retention is bounded. Finished traces land in a lock-free ring of
+//     sharded slots (recent traces, overwritten forever) and in a fixed-size
+//     "slowest-N" reservoir (a min-heap with an atomic duration floor, so the
+//     common fast-request case skips the lock entirely).
+//
+// Like internal/obs, everything here is additive instrumentation outside the
+// PRAM cost model: nothing feeds back into scheduling or the Work/Depth
+// accounting.
+package trace
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of a trace. Start and End are UnixNano
+// timestamps; Arg and Arg2 are caller-defined annotations (a shard index,
+// a phase size, a steal count) fixed at span start and end respectively.
+type Span struct {
+	Name  string
+	Arg   int64
+	Arg2  int64
+	Start int64
+	End   int64
+}
+
+// T is one sampled request trace: identity, bounds, and a fixed-capacity
+// span array shared by every goroutine working on the request. All methods
+// are nil-safe — an unsampled request carries a nil *T and every hook
+// degenerates to a pointer check.
+type T struct {
+	id    uint64
+	name  string
+	start int64 // UnixNano
+	end   int64 // UnixNano; 0 until Finish
+
+	status  atomic.Int64 // caller-defined terminal status (e.g. HTTP code)
+	arg     atomic.Int64 // caller-defined size annotation (e.g. body bytes)
+	n       atomic.Int32 // spans claimed (may exceed len(spans); excess dropped)
+	dropped atomic.Int64
+	spans   []Span
+
+	rec *Recorder
+}
+
+// SpanRef is an open span: a value handle (no allocation) pairing the trace
+// with the claimed slot. The zero SpanRef (from a nil trace or a full span
+// array) is valid and End is a no-op on it.
+type SpanRef struct {
+	t   *T
+	i   int32
+	beg int64
+}
+
+// StartSpan opens a span. Safe to call from any goroutine of the request;
+// nil-safe. arg annotates the span (shard index, element count, …).
+func (t *T) StartSpan(name string, arg int64) SpanRef {
+	if t == nil {
+		return SpanRef{}
+	}
+	i := t.n.Add(1) - 1
+	if int(i) >= len(t.spans) {
+		t.dropped.Add(1)
+		return SpanRef{}
+	}
+	now := time.Now().UnixNano()
+	sp := &t.spans[i]
+	sp.Name, sp.Arg, sp.Arg2, sp.Start, sp.End = name, arg, 0, now, 0
+	return SpanRef{t: t, i: i, beg: now}
+}
+
+// End closes the span. No-op on the zero SpanRef.
+func (s SpanRef) End() { s.EndArg(0) }
+
+// EndArg closes the span with a second annotation (e.g. chunks stolen during
+// the phase). No-op on the zero SpanRef.
+func (s SpanRef) EndArg(arg2 int64) {
+	if s.t == nil {
+		return
+	}
+	sp := &s.t.spans[s.i]
+	sp.Arg2 = arg2
+	sp.End = time.Now().UnixNano()
+}
+
+// AddSpan records a span whose bounds were measured elsewhere (e.g. a stream
+// chunk's enqueue→scan wait, stamped at enqueue time). Nil-safe.
+func (t *T) AddSpan(name string, arg, startNs, endNs int64) {
+	if t == nil {
+		return
+	}
+	i := t.n.Add(1) - 1
+	if int(i) >= len(t.spans) {
+		t.dropped.Add(1)
+		return
+	}
+	t.spans[i] = Span{Name: name, Arg: arg, Start: startNs, End: endNs}
+}
+
+// SetStatus records the request's terminal status (e.g. the HTTP code).
+// Nil-safe.
+func (t *T) SetStatus(code int) {
+	if t != nil {
+		t.status.Store(int64(code))
+	}
+}
+
+// SetArg records the request's size annotation (e.g. text bytes). Nil-safe.
+func (t *T) SetArg(v int64) {
+	if t != nil {
+		t.arg.Store(v)
+	}
+}
+
+// Finish closes the trace and hands it to the recorder's ring and slowest-N
+// reservoir. Every span must have ended before Finish; the trace must not be
+// mutated afterwards. Nil-safe.
+func (t *T) Finish() {
+	if t == nil {
+		return
+	}
+	t.end = time.Now().UnixNano()
+	t.rec.finish(t)
+}
+
+// Duration is the trace's end-to-end wall time (0 before Finish).
+func (t *T) Duration() time.Duration {
+	if t == nil || t.end == 0 {
+		return 0
+	}
+	return time.Duration(t.end - t.start)
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. A nil t returns ctx unchanged.
+func NewContext(ctx context.Context, t *T) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. Nil-safe on a nil
+// context.
+func FromContext(ctx context.Context) *T {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*T)
+	return t
+}
+
+// ringSlots is the per-shard capacity of the recent-traces ring. With
+// GOMAXPROCS shards the recorder retains up to GOMAXPROCS×ringSlots recent
+// traces — bounded memory regardless of traffic.
+const ringSlots = 16
+
+// ringShard is one lock-free slot array of the recent-traces ring: a
+// monotonic cursor picks the slot, an atomic pointer store publishes the
+// trace. Readers load whatever mix of generations is current — exactly the
+// consistency a debug endpoint needs. Padded so shard cursors do not share a
+// cache line.
+type ringShard struct {
+	cursor atomic.Uint64
+	slots  [ringSlots]atomic.Pointer[T]
+	_      [40]byte
+}
+
+// Recorder owns sampling state, the per-P ring of recent traces, and the
+// slowest-N reservoir. The zero value is not usable; call NewRecorder. The
+// package-level Default recorder is what the serving path uses.
+type Recorder struct {
+	sampleEvery atomic.Int64 // 0 = disabled; 1 = every request; k = 1-in-k
+	maxSpans    atomic.Int64
+	seq         atomic.Uint64
+	id          atomic.Uint64
+
+	started    atomic.Int64 // traces begun (sampled in)
+	finished   atomic.Int64
+	sampledOut atomic.Int64 // Start calls skipped by sampling
+
+	rings []ringShard // len is a power of two
+
+	// floor is the smallest duration currently held by a full reservoir
+	// (MaxInt64 while not full is wrong — 0 means "not full yet"): Finish
+	// compares against it with one atomic load and skips the lock for the
+	// fast (not slow enough) case.
+	floor atomic.Int64
+	mu    sync.Mutex
+	slowN int
+	slow  []*T // min-heap by duration
+}
+
+// NewRecorder returns a recorder sampling 1-in-sampleEvery traces
+// (0 disables tracing entirely) and retaining the slowestN slowest. Span
+// capacity per trace defaults to 256.
+func NewRecorder(sampleEvery, slowestN int) *Recorder {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) {
+		n <<= 1
+	}
+	r := &Recorder{rings: make([]ringShard, n)}
+	r.maxSpans.Store(256)
+	r.Configure(sampleEvery, slowestN, 0)
+	return r
+}
+
+// Configure updates sampling (0 disables), the slowest-N retention (<=0
+// keeps the current value), and the per-trace span capacity (<=0 keeps the
+// current value). Safe at any time; already-retained traces are trimmed.
+func (r *Recorder) Configure(sampleEvery, slowestN, maxSpans int) {
+	if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+	r.sampleEvery.Store(int64(sampleEvery))
+	if maxSpans > 0 {
+		r.maxSpans.Store(int64(maxSpans))
+	}
+	if slowestN > 0 {
+		r.mu.Lock()
+		r.slowN = slowestN
+		for len(r.slow) > slowestN {
+			r.popMin()
+		}
+		if len(r.slow) >= r.slowN {
+			r.floor.Store(int64(r.slow[0].Duration()))
+		} else {
+			r.floor.Store(0)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// Enabled reports whether the recorder is sampling at all (one atomic load).
+func (r *Recorder) Enabled() bool { return r.sampleEvery.Load() > 0 }
+
+// SampleEvery reports the current 1-in-k sampling rate (0 = disabled).
+func (r *Recorder) SampleEvery() int { return int(r.sampleEvery.Load()) }
+
+// Start begins a trace for one request, or returns nil when tracing is
+// disabled or this request falls outside the sample. The caller owns the
+// trace until Finish.
+func (r *Recorder) Start(name string) *T {
+	k := r.sampleEvery.Load()
+	if k <= 0 {
+		return nil
+	}
+	if k > 1 && r.seq.Add(1)%uint64(k) != 0 {
+		r.sampledOut.Add(1)
+		return nil
+	}
+	r.started.Add(1)
+	return &T{
+		id:    r.id.Add(1),
+		name:  name,
+		start: time.Now().UnixNano(),
+		spans: make([]Span, r.maxSpans.Load()),
+		rec:   r,
+	}
+}
+
+// finish publishes a completed trace to the ring and, if slow enough, the
+// reservoir.
+func (r *Recorder) finish(t *T) {
+	r.finished.Add(1)
+	shard := &r.rings[t.id&uint64(len(r.rings)-1)]
+	shard.slots[shard.cursor.Add(1)%ringSlots].Store(t)
+
+	d := t.end - t.start
+	if f := r.floor.Load(); f > 0 && d <= f {
+		return // reservoir is full of slower traces; skip the lock
+	}
+	r.mu.Lock()
+	if len(r.slow) < r.slowN {
+		r.pushSlow(t)
+		if len(r.slow) == r.slowN {
+			r.floor.Store(int64(r.slow[0].Duration()))
+		}
+	} else if r.slowN > 0 && d > int64(r.slow[0].Duration()) {
+		r.popMin()
+		r.pushSlow(t)
+		r.floor.Store(int64(r.slow[0].Duration()))
+	}
+	r.mu.Unlock()
+}
+
+// pushSlow / popMin maintain the min-heap ordering by duration (r.mu held).
+func (r *Recorder) pushSlow(t *T) {
+	r.slow = append(r.slow, t)
+	i := len(r.slow) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if r.slow[p].Duration() <= r.slow[i].Duration() {
+			break
+		}
+		r.slow[p], r.slow[i] = r.slow[i], r.slow[p]
+		i = p
+	}
+}
+
+func (r *Recorder) popMin() {
+	last := len(r.slow) - 1
+	r.slow[0] = r.slow[last]
+	r.slow[last] = nil
+	r.slow = r.slow[:last]
+	i := 0
+	for {
+		l, rt := 2*i+1, 2*i+2
+		small := i
+		if l < len(r.slow) && r.slow[l].Duration() < r.slow[small].Duration() {
+			small = l
+		}
+		if rt < len(r.slow) && r.slow[rt].Duration() < r.slow[small].Duration() {
+			small = rt
+		}
+		if small == i {
+			return
+		}
+		r.slow[i], r.slow[small] = r.slow[small], r.slow[i]
+		i = small
+	}
+}
+
+// SpanInfo is the rendered form of one span: offsets are microseconds
+// relative to the trace start (a stream chunk's enqueue-wait may start
+// before its batch trace did, so offsets can be negative).
+type SpanInfo struct {
+	Name    string  `json:"name"`
+	Arg     int64   `json:"arg,omitempty"`
+	Arg2    int64   `json:"arg2,omitempty"`
+	StartUs float64 `json:"start_us"`
+	DurUs   float64 `json:"dur_us"`
+}
+
+// Info is the rendered form of one finished trace.
+type Info struct {
+	ID           uint64     `json:"id"`
+	Name         string     `json:"name"`
+	Start        time.Time  `json:"start"`
+	DurationUs   float64    `json:"duration_us"`
+	Status       int64      `json:"status,omitempty"`
+	Arg          int64      `json:"arg,omitempty"`
+	DroppedSpans int64      `json:"dropped_spans,omitempty"`
+	Spans        []SpanInfo `json:"spans"`
+}
+
+// snapshot renders a finished trace. Only call on traces observed through
+// the recorder (ring or reservoir), which implies Finish happened-before.
+func (t *T) snapshot() Info {
+	n := int(t.n.Load())
+	if n > len(t.spans) {
+		n = len(t.spans)
+	}
+	info := Info{
+		ID:           t.id,
+		Name:         t.name,
+		Start:        time.Unix(0, t.start),
+		DurationUs:   float64(t.end-t.start) / 1e3,
+		Status:       t.status.Load(),
+		Arg:          t.arg.Load(),
+		DroppedSpans: t.dropped.Load(),
+		Spans:        make([]SpanInfo, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		sp := t.spans[i]
+		info.Spans = append(info.Spans, SpanInfo{
+			Name:    sp.Name,
+			Arg:     sp.Arg,
+			Arg2:    sp.Arg2,
+			StartUs: float64(sp.Start-t.start) / 1e3,
+			DurUs:   float64(sp.End-sp.Start) / 1e3,
+		})
+	}
+	return info
+}
+
+// Slowest returns the reservoir's traces, slowest first.
+func (r *Recorder) Slowest() []Info {
+	r.mu.Lock()
+	ts := append([]*T(nil), r.slow...)
+	r.mu.Unlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Duration() > ts[j].Duration() })
+	out := make([]Info, len(ts))
+	for i, t := range ts {
+		out[i] = t.snapshot()
+	}
+	return out
+}
+
+// Recent returns up to max recently finished traces from the ring, newest
+// first. The ring is best-effort: under churn a slot may be overwritten
+// between cursor read and load, which only means a newer trace is returned.
+func (r *Recorder) Recent(max int) []Info {
+	var ts []*T
+	for s := range r.rings {
+		for i := range r.rings[s].slots {
+			if t := r.rings[s].slots[i].Load(); t != nil {
+				ts = append(ts, t)
+			}
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].end > ts[j].end })
+	if max > 0 && len(ts) > max {
+		ts = ts[:max]
+	}
+	out := make([]Info, len(ts))
+	for i, t := range ts {
+		out[i] = t.snapshot()
+	}
+	return out
+}
+
+// Stats is a point-in-time summary of the recorder.
+type Stats struct {
+	SampleEvery int   `json:"sample_every"`
+	Started     int64 `json:"started"`
+	Finished    int64 `json:"finished"`
+	SampledOut  int64 `json:"sampled_out"`
+	Retained    int   `json:"retained"` // traces currently in the reservoir
+}
+
+// RecorderStats snapshots the recorder's counters.
+func (r *Recorder) RecorderStats() Stats {
+	r.mu.Lock()
+	retained := len(r.slow)
+	r.mu.Unlock()
+	return Stats{
+		SampleEvery: int(r.sampleEvery.Load()),
+		Started:     r.started.Load(),
+		Finished:    r.finished.Load(),
+		SampledOut:  r.sampledOut.Load(),
+		Retained:    retained,
+	}
+}
+
+// Default is the process-wide recorder the serving path (dictserve, the
+// StreamServer dispatcher) records into. It starts disabled; dictserve's
+// -trace flag (or a direct Configure call) turns it on.
+var Default = NewRecorder(0, 32)
+
+// Start begins a trace on the Default recorder (nil when disabled or
+// sampled out).
+func Start(name string) *T { return Default.Start(name) }
+
+// Enabled reports whether the Default recorder is sampling.
+func Enabled() bool { return Default.Enabled() }

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newT builds a finished-shape trace with a forged duration so reservoir
+// tests are deterministic (wall-clock durations of real traces are noise).
+func newT(r *Recorder, d time.Duration) *T {
+	t := r.Start("forged")
+	t.start = 1_000_000
+	t.end = t.start + d.Nanoseconds()
+	return t
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *T
+	sp := tr.StartSpan("x", 1)
+	sp.End()
+	sp.EndArg(2)
+	tr.AddSpan("y", 0, 1, 2)
+	tr.SetStatus(200)
+	tr.SetArg(5)
+	tr.Finish()
+	if d := tr.Duration(); d != 0 {
+		t.Fatalf("nil trace duration = %v", d)
+	}
+	if got := NewContext(context.Background(), nil); got != context.Background() {
+		t.Fatal("NewContext(nil trace) must return ctx unchanged")
+	}
+	if FromContext(nil) != nil || FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on empty contexts must be nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	r := NewRecorder(1, 4)
+	tr := r.Start("req")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost through context")
+	}
+}
+
+func TestSpansAndSnapshot(t *testing.T) {
+	r := NewRecorder(1, 4)
+	tr := r.Start("scan")
+	tr.SetArg(1024)
+	tr.SetStatus(200)
+	sp := tr.StartSpan("phase", 7)
+	sp.EndArg(3)
+	// A retroactive span that began before the trace: offset must be negative.
+	tr.AddSpan("wait", 9, tr.start-2_000, tr.start+1_000)
+	tr.Finish()
+
+	infos := r.Slowest()
+	if len(infos) != 1 {
+		t.Fatalf("reservoir holds %d traces, want 1", len(infos))
+	}
+	in := infos[0]
+	if in.Name != "scan" || in.Arg != 1024 || in.Status != 200 {
+		t.Fatalf("trace header = %+v", in)
+	}
+	if len(in.Spans) != 2 {
+		t.Fatalf("spans = %+v", in.Spans)
+	}
+	if in.Spans[0].Name != "phase" || in.Spans[0].Arg != 7 || in.Spans[0].Arg2 != 3 {
+		t.Fatalf("phase span = %+v", in.Spans[0])
+	}
+	if in.Spans[1].Name != "wait" || in.Spans[1].StartUs >= 0 || in.Spans[1].DurUs != 3 {
+		t.Fatalf("retroactive span = %+v (want negative start, 3µs dur)", in.Spans[1])
+	}
+}
+
+func TestSpanOverflowDroppedAndCounted(t *testing.T) {
+	r := NewRecorder(1, 4)
+	r.Configure(1, 4, 8)
+	tr := r.Start("small")
+	for i := 0; i < 20; i++ {
+		tr.StartSpan("s", int64(i)).End()
+	}
+	tr.AddSpan("late", 0, 1, 2)
+	tr.Finish()
+	in := r.Slowest()[0]
+	if len(in.Spans) != 8 {
+		t.Fatalf("kept %d spans, want cap 8", len(in.Spans))
+	}
+	if in.DroppedSpans != 13 {
+		t.Fatalf("dropped = %d, want 13", in.DroppedSpans)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRecorder(4, 8)
+	var sampled int
+	for i := 0; i < 400; i++ {
+		if tr := r.Start("req"); tr != nil {
+			sampled++
+			tr.Finish()
+		}
+	}
+	if sampled != 100 {
+		t.Fatalf("1-in-4 sampling kept %d of 400", sampled)
+	}
+	st := r.RecorderStats()
+	if st.Started != 100 || st.Finished != 100 || st.SampledOut != 300 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	r.Configure(0, 0, 0)
+	if r.Enabled() || r.Start("req") != nil {
+		t.Fatal("disabled recorder must not sample")
+	}
+}
+
+func TestSlowestNReservoir(t *testing.T) {
+	r := NewRecorder(1, 3)
+	// Feed durations 1..10ms in a scrambled order; only {10,9,8} may survive.
+	for _, ms := range []int{4, 9, 1, 7, 10, 2, 6, 3, 8, 5} {
+		r.finish(newT(r, time.Duration(ms)*time.Millisecond))
+	}
+	got := r.Slowest()
+	if len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	for i, want := range []float64{10_000, 9_000, 8_000} {
+		if got[i].DurationUs != want {
+			t.Fatalf("slowest[%d] = %vµs, want %vµs", i, got[i].DurationUs, want)
+		}
+	}
+	// Shrinking the reservoir trims to the new slowest-N.
+	r.Configure(1, 2, 0)
+	if got := r.Slowest(); len(got) != 2 || got[0].DurationUs != 10_000 || got[1].DurationUs != 9_000 {
+		t.Fatalf("after shrink: %+v", got)
+	}
+	if st := r.RecorderStats(); st.Retained != 2 {
+		t.Fatalf("retained stat = %d", st.Retained)
+	}
+}
+
+func TestRecentNewestFirst(t *testing.T) {
+	r := NewRecorder(1, 2)
+	for i := 1; i <= 5; i++ {
+		r.finish(newT(r, time.Duration(i)*time.Millisecond))
+	}
+	got := r.Recent(3)
+	if len(got) != 3 {
+		t.Fatalf("recent returned %d, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Start.Before(got[i].Start) ||
+			(got[i-1].Start.Equal(got[i].Start) && got[i-1].DurationUs < got[i].DurationUs) {
+			t.Fatalf("recent not newest-first: %+v", got)
+		}
+	}
+}
+
+// TestRaceSpanRing hammers one trace's span array from many goroutines — the
+// scatter-gather shape — and checks nothing is lost below the cap. Run under
+// -race this is the ISSUE's required hammer on the span ring.
+func TestRaceSpanRing(t *testing.T) {
+	r := NewRecorder(1, 4)
+	r.Configure(1, 4, 4096)
+	tr := r.Start("hammer")
+	const workers, per = 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := tr.StartSpan("s", int64(w))
+				tr.AddSpan("a", int64(i), 1, 2)
+				sp.EndArg(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Finish()
+	in := r.Slowest()[0]
+	if len(in.Spans) != workers*per*2 {
+		t.Fatalf("spans = %d, want %d", len(in.Spans), workers*per*2)
+	}
+	for _, sp := range in.Spans {
+		if sp.Name != "s" && sp.Name != "a" {
+			t.Fatalf("torn span %+v", sp)
+		}
+	}
+}
+
+// TestRaceRecorder hammers the full recorder — concurrent Start/Finish
+// against concurrent Slowest/Recent/Configure readers — the ISSUE's required
+// race-mode hammer on the slowest-N reservoir.
+func TestRaceRecorder(t *testing.T) {
+	r := NewRecorder(1, 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr := r.Start("req")
+				tr.StartSpan("p", int64(i)).End()
+				tr.SetStatus(200)
+				tr.Finish()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Slowest()
+			r.Recent(8)
+			r.RecorderStats()
+			if i%10 == 0 {
+				r.Configure(1, 4+i%8, 0)
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	st := r.RecorderStats()
+	if st.Started == 0 || st.Started != st.Finished {
+		t.Fatalf("stats after hammer = %+v", st)
+	}
+}

@@ -1,11 +1,13 @@
 package pardict
 
 import (
+	"context"
 	"testing"
 
 	"pardict/internal/core"
 	"pardict/internal/obs"
 	"pardict/internal/pram"
+	"pardict/internal/trace"
 	"pardict/internal/workload"
 )
 
@@ -90,4 +92,98 @@ func TestObsNeutralityPublicAPI(t *testing.T) {
 	if c1 != c2 {
 		t.Fatalf("match count diverges: enabled %d, disabled %d", c1, c2)
 	}
+}
+
+// TestTraceNeutralityWorkDepth proves the tracing layer is free at the
+// cost-model level: a sharded scatter-gather scan with a sampled trace in its
+// context charges byte-identical Work/Depth — and returns identical matches —
+// as the same scan untraced. Spans time regions; they never feed back into
+// the PRAM accounting.
+func TestTraceNeutralityWorkDepth(t *testing.T) {
+	ip := workload.Dictionary(21, 48, 2, 16, 8)
+	pats := make([][]byte, len(ip))
+	for i, p := range ip {
+		pats[i] = workload.Bytes(p)
+	}
+	text := workload.Bytes(workload.PlantedText(22, 1<<13, 8, ip, 40))
+	m, err := NewShardedMatcher(WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Reload(pats); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(ctx context.Context) (Stats, int) {
+		r, err := m.MatchContext(ctx, text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats(), r.Count()
+	}
+
+	offStats, offCount := run(context.Background())
+
+	rec := trace.NewRecorder(1, 4)
+	tr := rec.Start("neutrality")
+	onStats, onCount := run(trace.NewContext(context.Background(), tr))
+	tr.Finish()
+
+	if onStats != offStats {
+		t.Fatalf("stats diverge: traced %+v, untraced %+v", onStats, offStats)
+	}
+	if onCount != offCount {
+		t.Fatalf("count diverges: traced %d, untraced %d", onCount, offCount)
+	}
+
+	// The traced run must actually have exercised the instrumented path:
+	// encode, per-shard, and merge spans all present.
+	infos := rec.Slowest()
+	if len(infos) != 1 {
+		t.Fatalf("reservoir holds %d traces", len(infos))
+	}
+	seen := map[string]int{}
+	for _, sp := range infos[0].Spans {
+		seen[sp.Name]++
+	}
+	if seen["encode"] != 1 || seen["shard"] != 4 || seen["merge"] != 1 {
+		t.Fatalf("span mix %v: want 1 encode, 4 shard, 1 merge", seen)
+	}
+}
+
+// TestTraceNeutralityZeroAllocs proves requests outside the sample pay
+// nothing: even with the process-wide Default recorder sampling every
+// request, a scan whose context carries no trace keeps the warmed MatchInto
+// hot path at zero allocations per op.
+//
+// Not parallel: trace.Default is process-global.
+func TestTraceNeutralityZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime defeats sync.Pool caching and allocates on its own; alloc counts are meaningless under -race")
+	}
+	prev := trace.Default.SampleEvery()
+	trace.Default.Configure(1, 4, 64)
+	defer trace.Default.Configure(prev, 0, 0)
+
+	ip := workload.Dictionary(23, 16, 4, 14, 8)
+	pats := make([][]byte, len(ip))
+	for i, p := range ip {
+		pats[i] = workload.Bytes(p)
+	}
+	text := workload.Bytes(workload.PlantedText(24, 1<<12, 8, ip, 10))
+	m, err := NewMatcher(pats, WithEngine(EngineGeneral), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst *Matches
+	for i := 0; i < 5; i++ { // warm the slab, state, and ctx pools
+		dst = m.MatchInto(dst, text)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		dst = m.MatchInto(dst, text)
+	}); avg != 0 {
+		t.Fatalf("warmed MatchInto allocates %.1f times per op with tracing compiled in; want 0", avg)
+	}
+	dst.Release()
 }

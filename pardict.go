@@ -31,6 +31,7 @@ import (
 
 	"pardict/internal/alpha"
 	"pardict/internal/pram"
+	"pardict/internal/trace"
 )
 
 // ErrCanceled is reported (wrapped) by the *Context matching entry points when
@@ -210,12 +211,21 @@ func (c *config) schedulerPool() *pram.Pool {
 }
 
 // newCtxFor binds one operation's execution context: the configured scheduler
-// plus the caller's cancellation context (nil means "never canceled").
+// plus the caller's cancellation context (nil means "never canceled"). When
+// gctx carries a sampled request trace (dictserve threads one through
+// MatchContext), the execution records its phase spans into it; otherwise the
+// trace hooks are nil checks.
 func (c *config) newCtxFor(gctx context.Context) *pram.Ctx {
+	var ctx *pram.Ctx
 	if c.pool != nil {
-		return pram.NewCtx(gctx, c.pool.p)
+		ctx = pram.NewCtx(gctx, c.pool.p)
+	} else {
+		ctx = pram.NewCtx(gctx, pram.Shared(c.procs))
 	}
-	return pram.NewCtx(gctx, pram.Shared(c.procs))
+	if t := trace.FromContext(gctx); t != nil {
+		ctx.SetTrace(t)
+	}
+	return ctx
 }
 
 // canceledErr converts a canceled execution into the public error, wrapping

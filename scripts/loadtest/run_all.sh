@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# run_all.sh — the E17 offered-load sweep: build dictserve and dictload,
+# start a traced server, sweep offered QPS levels with the open-loop driver,
+# and leave the combined report in BENCH_load.json at the repo root.
+#
+# Environment knobs (defaults chosen to finish in ~1 minute on one core):
+#   LEVELS    comma-separated offered QPS levels  (default 100,200,400,800,1600)
+#   DURATION  measured run per level                  (default 6s)
+#   WARMUP    unmeasured warmup per level             (default 1s)
+#   SLO       latency target handed to both sides    (default 100ms)
+#   ADDR      host:port to bind                       (default 127.0.0.1:18900)
+#   OUT       report path                             (default BENCH_load.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+LEVELS="${LEVELS:-100,200,400,800,1600}"
+DURATION="${DURATION:-6s}"
+WARMUP="${WARMUP:-1s}"
+SLO="${SLO:-100ms}"
+ADDR="${ADDR:-127.0.0.1:18900}"
+OUT="${OUT:-BENCH_load.json}"
+
+bin="$(mktemp -d)"
+trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+echo "== building dictserve and dictload" >&2
+go build -o "$bin/dictserve" ./cmd/dictserve
+go build -o "$bin/dictload" ./cmd/dictload
+
+echo "== starting dictserve on $ADDR (tracing every request, SLO $SLO)" >&2
+"$bin/dictserve" -addr "$ADDR" -trace 1 -slotarget "$SLO" >"$bin/dictserve.log" 2>&1 &
+server_pid=$!
+
+echo "== sweeping offered load: $LEVELS" >&2
+"$bin/dictload" -addr "$ADDR" -sweep "$LEVELS" \
+  -duration "$DURATION" -warmup "$WARMUP" -slotarget "$SLO" \
+  -waitready 10s -out "$OUT"
+
+echo "== server-side trace sample" >&2
+curl -fsS "http://$ADDR/debug/trace" | head -c 400 >&2 || true
+echo >&2
+echo "== report written to $OUT" >&2

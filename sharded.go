@@ -12,6 +12,7 @@ import (
 	"pardict/internal/obs"
 	"pardict/internal/pram"
 	"pardict/internal/shard"
+	"pardict/internal/trace"
 )
 
 // Errors returned by ShardedMatcher mutations.
@@ -255,15 +256,18 @@ func (m *ShardedMatcher) Match(text []byte) *ShardedMatches {
 // reconciler. Cancellation aborts within one parallel phase and returns an
 // error wrapping ErrCanceled and the context's cause.
 func (m *ShardedMatcher) MatchContext(gctx context.Context, text []byte) (*ShardedMatches, error) {
+	tr := trace.FromContext(gctx)
+	esp := tr.StartSpan("encode", int64(len(text)))
 	enc := m.enc.Encode(text)
+	esp.End()
 	var r *shard.Result
 	var canceled *pram.Ctx
 	obs.Do(gctx, func(lctx context.Context) {
-		r, canceled = m.set.Match(func() *pram.Ctx {
+		r, canceled = m.set.MatchTraced(func() *pram.Ctx {
 			ctx := m.cfg.newCtxFor(gctx)
 			ctx.SetLabelContext(lctx)
 			return ctx
-		}, enc)
+		}, enc, tr)
 	}, "engine", "sharded", "op", "match")
 	if canceled != nil {
 		if err := canceledErr(canceled); err != nil {

@@ -11,6 +11,7 @@ import (
 	"pardict/internal/obs"
 	"pardict/internal/pram"
 	"pardict/internal/streamcore"
+	"pardict/internal/trace"
 )
 
 // ErrStreamServerClosed is returned by StreamServer.Open and by ServerStream
@@ -324,16 +325,26 @@ func (srv *StreamServer) dispatch() {
 		srv.batches.Inc()
 		srv.batchStreams.Add(int64(len(batch)))
 		srv.batchHist.Observe(int64(len(batch)))
+		// Batches are traced through the Default recorder (there is no inbound
+		// request context on the dispatcher loop to carry one): one trace per
+		// sampled batch, with the phase fan-out plus each stream's enqueue-wait
+		// and scan spans inside it.
+		tr := trace.Start("stream.batch")
+		tr.SetArg(int64(len(batch)))
 		ctx := pram.GetCtx(srv.pool)
-		ctx.For(len(batch), func(i int) { batch[i].process() })
+		ctx.SetTrace(tr)
+		ctx.For(len(batch), func(i int) { batch[i].process(tr) })
 		pram.PutCtx(ctx)
+		tr.Finish()
 	}
 }
 
-// process scans one stream's share of the current phase. It is only ever
-// invoked from dispatch phases, and a stream appears at most once per batch,
-// so calls for one stream are serialized — the session needs no lock.
-func (st *ServerStream) process() {
+// process scans one stream's share of the current phase, recording per-chunk
+// enqueue-wait and scan spans into tr (nil when the batch was not sampled).
+// It is only ever invoked from dispatch phases, and a stream appears at most
+// once per batch, so calls for one stream are serialized — the session needs
+// no lock.
+func (st *ServerStream) process(tr *trace.T) {
 	srv := st.srv
 	st.mu.Lock()
 	k, taken := 0, 0
@@ -348,9 +359,22 @@ func (st *ServerStream) process() {
 
 	pend0 := st.ses.Pending()
 	for _, c := range take {
+		var scanStart int64
+		if tr != nil {
+			scanStart = time.Now().UnixNano()
+			if c.stamp != 0 {
+				// The wait span predates the batch trace itself (the chunk was
+				// stamped at enqueue); offsets render negative, which is the
+				// honest picture of queueing delay.
+				tr.AddSpan("stream.wait", int64(len(c.data)), c.stamp, scanStart)
+			}
+		}
 		st.ses.Buffer(c.data)
 		st.ses.Scan(0)
 		st.ses.EmitFinal(st.emit)
+		if tr != nil {
+			tr.AddSpan("stream.scan", int64(len(c.data)), scanStart, time.Now().UnixNano())
+		}
 		if c.stamp != 0 {
 			srv.latency.Observe(time.Now().UnixNano() - c.stamp)
 		}
@@ -416,34 +440,14 @@ type HistogramSnapshot struct {
 // Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
 // observed values: the bound of the bucket where the cumulative count
 // crosses q·Count. Returns 0 with no observations; the overflow bucket
-// reports the largest bound.
+// reports the largest bound. It delegates to the shared obs implementation.
 func (h HistogramSnapshot) Quantile(q float64) int64 {
-	if h.Count == 0 {
-		return 0
-	}
-	target := int64(q * float64(h.Count))
-	if target < 1 {
-		target = 1
-	}
-	var cum int64
-	for i, c := range h.Counts {
-		cum += c
-		if cum >= target {
-			if i < len(h.Bounds) {
-				return h.Bounds[i]
-			}
-			break
-		}
-	}
-	return h.Bounds[len(h.Bounds)-1]
+	return obs.HistSnapshot{Bounds: h.Bounds, Counts: h.Counts, Count: h.Count}.Quantile(q)
 }
 
 // Mean returns the mean observed value (0 with no observations).
 func (h HistogramSnapshot) Mean() float64 {
-	if h.Count == 0 {
-		return 0
-	}
-	return float64(h.Sum) / float64(h.Count)
+	return obs.HistSnapshot{Count: h.Count, Sum: h.Sum}.Mean()
 }
 
 func histSnapshot(h *obs.Histogram) HistogramSnapshot {
