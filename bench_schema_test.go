@@ -1,0 +1,68 @@
+package pardict
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchSchemaGomaxprocs lints every checked-in BENCH_*.json against the
+// repo-wide schema convention: GOMAXPROCS is recorded per measurement row —
+// an integer "gomaxprocs" ≥ 1 on every object in the "points"/"levels"
+// arrays — and never as a top-level report field. The convention exists so
+// sweeps that vary GOMAXPROCS (E16, E18) and sweeps that hold it fixed
+// (E13–E15, dictload) serialize identically and downstream tooling never has
+// to special-case where the value lives.
+func TestBenchSchemaGomaxprocs(t *testing.T) {
+	files, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no BENCH_*.json files checked in")
+	}
+	for _, path := range files {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		var doc map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: not a JSON object: %v", path, err)
+		}
+		if _, ok := doc["gomaxprocs"]; ok {
+			t.Errorf("%s: top-level \"gomaxprocs\" is forbidden; record it per row in points/levels", path)
+		}
+		rows := 0
+		for _, key := range []string{"points", "levels"} {
+			rawRows, ok := doc[key]
+			if !ok {
+				continue
+			}
+			var arr []map[string]json.RawMessage
+			if err := json.Unmarshal(rawRows, &arr); err != nil {
+				t.Fatalf("%s: %q is not an array of objects: %v", path, key, err)
+			}
+			for i, row := range arr {
+				rows++
+				rawG, ok := row["gomaxprocs"]
+				if !ok {
+					t.Errorf("%s: %s[%d] missing \"gomaxprocs\"", path, key, i)
+					continue
+				}
+				var g int
+				if err := json.Unmarshal(rawG, &g); err != nil {
+					t.Errorf("%s: %s[%d] \"gomaxprocs\" is not an integer: %v", path, key, i, err)
+					continue
+				}
+				if g < 1 {
+					t.Errorf("%s: %s[%d] \"gomaxprocs\" = %d, want ≥ 1", path, key, i, g)
+				}
+			}
+		}
+		if rows == 0 {
+			t.Errorf("%s: no measurement rows found under \"points\" or \"levels\"", path)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+//go:build linux
+
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuMaskWords sizes the affinity bitmask at 1024 CPUs, the kernel's
+// historical CPU_SETSIZE; sched_(get|set)affinity truncate to the real
+// nr_cpu_ids, so oversizing is harmless.
+const cpuMaskWords = 16
+
+// pinCPUs restricts the calling thread to the first n CPUs of its current
+// affinity mask and returns a restore function, locking the goroutine to its
+// OS thread for the pinned interval. It is a best-effort measurement aid for
+// the E18 scaling sweep: only the submitting thread is pinned (the Go runtime
+// offers no portable way to pin its worker threads), which is enough to stop
+// the timed goroutine from migrating between samples. Raw syscalls keep the
+// dependency footprint at the stdlib.
+func pinCPUs(n int) (restore func(), err error) {
+	runtime.LockOSThread()
+	var old [cpuMaskWords]uint64
+	if _, _, e := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(old)*8), uintptr(unsafe.Pointer(&old[0]))); e != 0 {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("sched_getaffinity: %v", e)
+	}
+	var mask [cpuMaskWords]uint64
+	kept := 0
+	for cpu := 0; cpu < cpuMaskWords*64 && kept < n; cpu++ {
+		if old[cpu/64]&(1<<(cpu%64)) != 0 {
+			mask[cpu/64] |= 1 << (cpu % 64)
+			kept++
+		}
+	}
+	if kept == 0 {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("empty affinity mask")
+	}
+	if _, _, e := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0]))); e != 0 {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("sched_setaffinity: %v", e)
+	}
+	return func() {
+		syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+			0, uintptr(len(old)*8), uintptr(unsafe.Pointer(&old[0])))
+		runtime.UnlockOSThread()
+	}, nil
+}

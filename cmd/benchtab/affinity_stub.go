@@ -1,0 +1,10 @@
+//go:build !linux
+
+package main
+
+import "errors"
+
+// pinCPUs is unsupported off Linux; the E18 sweep then runs unpinned.
+func pinCPUs(n int) (func(), error) {
+	return nil, errors.New("cpu pinning unsupported on this platform")
+}

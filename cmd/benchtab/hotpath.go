@@ -20,20 +20,23 @@ var hotGuard = flag.Bool("hotguard", false,
 		"frozen+prefilter speedup over the map baseline drops below 2x")
 
 // hotPoint is one (table, prefilter, hit-rate) cell of the E15 sweep.
+// GOMAXPROCS is per-row — the BENCH_*.json schema convention (enforced by
+// bench_schema_test.go) so sweeps that vary it and sweeps that don't read
+// uniformly.
 type hotPoint struct {
-	Table     string  `json:"table"` // "frozen" (flat open-addressed) or "map" (Go map baseline)
-	Prefilter bool    `json:"prefilter"`
-	HitRate   float64 `json:"hit_rate"` // planted occurrences per text byte
-	N         int     `json:"n"`
-	NsPerByte float64 `json:"ns_per_byte"`
-	MBPerSec  float64 `json:"mb_per_s"`
+	Table      string  `json:"table"` // "frozen" (flat open-addressed) or "map" (Go map baseline)
+	Prefilter  bool    `json:"prefilter"`
+	HitRate    float64 `json:"hit_rate"` // planted occurrences per text byte
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	N          int     `json:"n"`
+	NsPerByte  float64 `json:"ns_per_byte"`
+	MBPerSec   float64 `json:"mb_per_s"`
 }
 
 type hotReport struct {
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	NumCPU     int        `json:"num_cpu"`
-	Quick      bool       `json:"quick"`
-	Points     []hotPoint `json:"points"`
+	NumCPU int        `json:"num_cpu"`
+	Quick  bool       `json:"quick"`
+	Points []hotPoint `json:"points"`
 }
 
 func (r *hotReport) find(table string, pref bool, rate float64) *hotPoint {
@@ -61,7 +64,7 @@ func (r *hotReport) find(table string, pref bool, rate float64) *hotPoint {
 // identical across all arms — this table is pure execution-layer wall clock.
 func e15() {
 	header("E15", "Hot path: frozen flat tables + bit-parallel prefilter vs map lookups (ns/byte)")
-	report := hotReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Quick: *quick}
+	report := hotReport{NumCPU: runtime.NumCPU(), Quick: *quick}
 
 	rng := rand.New(rand.NewSource(77))
 	patterns := make([][]int32, 64)
@@ -99,7 +102,8 @@ func e15() {
 				return time.Since(t0)
 			})
 			p := hotPoint{
-				Table: table, Prefilter: pref, HitRate: rate, N: n,
+				Table: table, Prefilter: pref, HitRate: rate,
+				GOMAXPROCS: runtime.GOMAXPROCS(0), N: n,
 				NsPerByte: float64(best.Nanoseconds()) / float64(n),
 				MBPerSec:  float64(n) / 1e6 / best.Seconds(),
 			}

@@ -14,9 +14,12 @@ import (
 var schedOut = flag.String("schedout", "BENCH_scheduler.json",
 	"where E13 writes its scheduler comparison (empty = don't write)")
 
-// schedPoint is one (procs, n) cell of the E13 comparison.
+// schedPoint is one (procs, n) cell of the E13 comparison. Procs is the
+// executor width under test; GOMAXPROCS the runtime setting the cell ran at
+// (per-row by the BENCH_*.json schema convention).
 type schedPoint struct {
 	Procs           int     `json:"procs"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
 	N               int     `json:"n"`
 	Phases          int     `json:"phases"`
 	SpawnNsPerPhase float64 `json:"spawn_ns_per_phase"`
@@ -25,10 +28,9 @@ type schedPoint struct {
 }
 
 type schedReport struct {
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Quick      bool         `json:"quick"`
-	Points     []schedPoint `json:"points"`
+	NumCPU int          `json:"num_cpu"`
+	Quick  bool         `json:"quick"`
+	Points []schedPoint `json:"points"`
 }
 
 // e13: the executor ablation behind the persistent pool — per-phase cost of
@@ -39,7 +41,7 @@ type schedReport struct {
 // latency.
 func e13() {
 	header("E13", "Scheduler: spawn-per-phase vs persistent work-stealing pool (per-phase ns)")
-	report := schedReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Quick: *quick}
+	report := schedReport{NumCPU: runtime.NumCPU(), Quick: *quick}
 	fmt.Printf("%6s %10s %8s %14s %14s %9s\n",
 		"procs", "n", "phases", "spawn ns/ph", "pool ns/ph", "speedup")
 	for _, procs := range []int{4, 8} {
@@ -78,6 +80,7 @@ func e13() {
 
 			p := schedPoint{
 				Procs:           procs,
+				GOMAXPROCS:      runtime.GOMAXPROCS(0),
 				N:               n,
 				Phases:          phases,
 				SpawnNsPerPhase: float64(spawnNs.Nanoseconds()) / float64(phases),

@@ -131,9 +131,11 @@ func rebuildWorldVariant(base [][]byte) *serveVariant {
 }
 
 // shardPoint is one (variant, write-rate) cell of the E14 comparison.
+// GOMAXPROCS is per-row by the BENCH_*.json schema convention.
 type shardPoint struct {
 	Variant     string  `json:"variant"`
 	Shards      int     `json:"shards,omitempty"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Readers     int     `json:"readers"`
 	Writers     int     `json:"writers"`
 	WriteDelay  string  `json:"write_delay"` // per-writer pause between mutations
@@ -152,7 +154,6 @@ type shardPoint struct {
 }
 
 type shardReport struct {
-	GOMAXPROCS int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"num_cpu"`
 	Quick      bool         `json:"quick"`
 	BaseDict   int          `json:"base_dict"`
@@ -199,7 +200,7 @@ func e14() {
 	const writers = 4
 
 	report := shardReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Quick: *quick,
+		NumCPU: runtime.NumCPU(), Quick: *quick,
 		BaseDict: baseDict, TextLen: textLen, DurationMs: dur.Milliseconds(),
 	}
 	fmt.Printf("%18s %7s %7s %11s %10s %9s %9s %9s %12s %10s\n",
@@ -326,6 +327,7 @@ func runServePoint(v *serveVariant, text []byte, readers, writers int, writeDela
 	p := shardPoint{
 		Variant:     v.name,
 		Shards:      v.shards,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Readers:     readers,
 		Writers:     writers,
 		WriteDelay:  writeDelay.String(),

@@ -40,13 +40,14 @@ type streamPoint struct {
 	MeanBatchStreams float64 `json:"mean_batch_streams,omitempty"`
 }
 
+// streamReport's swept GOMAXPROCS settings live per-row in Points (the
+// BENCH_*.json schema convention), never at the top level.
 type streamReport struct {
-	GOMAXPROCS []int         `json:"gomaxprocs"` // distinct settings swept
-	NumCPU     int           `json:"num_cpu"`
-	Quick      bool          `json:"quick"`
-	Patterns   int           `json:"patterns"`
-	MaxLen     int           `json:"max_len"`
-	Points     []streamPoint `json:"points"`
+	NumCPU   int           `json:"num_cpu"`
+	Quick    bool          `json:"quick"`
+	Patterns int           `json:"patterns"`
+	MaxLen   int           `json:"max_len"`
+	Points   []streamPoint `json:"points"`
 }
 
 // e16: the multiplexed streaming claim — one StreamServer coalescing N tenant
@@ -79,7 +80,7 @@ func e16() {
 		gomax = append(gomax, n)
 	}
 	report := streamReport{
-		GOMAXPROCS: gomax, NumCPU: runtime.NumCPU(), Quick: *quick,
+		NumCPU: runtime.NumCPU(), Quick: *quick,
 		Patterns: len(patterns), MaxLen: m,
 	}
 

@@ -102,19 +102,19 @@ func main() {
 	}
 
 	report := loadReport{
-		Addr:       *addr,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Tenants:    *tenants,
-		ZipfS:      *zipfS,
-		Mix:        *mix,
-		TextLen:    *textLen,
-		DurationS:  duration.Seconds(),
-		TargetMs:   float64(sloTarget.Nanoseconds()) / 1e6,
-		Objective:  *sloObj,
+		Addr:      *addr,
+		NumCPU:    runtime.NumCPU(),
+		Tenants:   *tenants,
+		ZipfS:     *zipfS,
+		Mix:       *mix,
+		TextLen:   *textLen,
+		DurationS: duration.Seconds(),
+		TargetMs:  float64(sloTarget.Nanoseconds()) / 1e6,
+		Objective: *sloObj,
 	}
 	for _, lv := range levels {
 		res := runLevel(client, base, w, lv, *warmup, *duration, *sloTarget, *sloObj)
+		res.GOMAXPROCS = runtime.GOMAXPROCS(0)
 		report.Levels = append(report.Levels, res)
 		fmt.Fprintf(os.Stderr,
 			"dictload: qps=%g achieved=%.1f reqs=%d errs=%d p50=%.2fms p99=%.2fms p999=%.2fms burn=%.2f met=%v\n",
@@ -148,10 +148,10 @@ func main() {
 	}
 }
 
-// loadReport is the -out JSON document.
+// loadReport is the -out JSON document. GOMAXPROCS is recorded per level row
+// (the BENCH_*.json schema convention), never at the top level.
 type loadReport struct {
 	Addr              string        `json:"addr"`
-	GOMAXPROCS        int           `json:"gomaxprocs"`
 	NumCPU            int           `json:"num_cpu"`
 	Tenants           int           `json:"tenants"`
 	ZipfS             float64       `json:"zipf_s"`
@@ -167,6 +167,7 @@ type loadReport struct {
 type levelResult struct {
 	OfferedQPS  float64 `json:"offered_qps"`
 	AchievedQPS float64 `json:"achieved_qps"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Requests    int     `json:"requests"`
 	Errors      int     `json:"errors"`
 	Scans       int     `json:"scans"`

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	dictmatch -dict patterns.txt [-text input.txt] [-engine auto|general|smallalpha|equallength]
-//	          [-alphabet acgt] [-collapse L] [-procs N] [-all] [-stats] [-count]
+//	          [-alphabet acgt] [-collapse L] [-procs N] [-prefilter off|wide|scalar|auto]
+//	          [-all] [-stats] [-count]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		alphabet = flag.String("alphabet", "", "restrict to this byte alphabet (enables smallalpha)")
 		collapse = flag.Int("collapse", 0, "collapse parameter L for smallalpha (0 = auto)")
 		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
+		prefilt  = flag.String("prefilter", "off", "off|wide|scalar|auto: screen text positions before the cascade (general engine)")
 		all      = flag.Bool("all", false, "print all patterns per position, not just the longest")
 		stats    = flag.Bool("stats", false, "print PRAM work/depth statistics")
 		countOn  = flag.Bool("count", false, "print only the number of matching positions")
@@ -80,6 +82,17 @@ func main() {
 	}
 	if *alphabet != "" {
 		opts = append(opts, pardict.WithAlphabet([]byte(*alphabet)))
+	}
+	switch *prefilt {
+	case "off":
+	case "wide", "on":
+		opts = append(opts, pardict.WithPrefilter(pardict.PrefilterOn))
+	case "scalar":
+		opts = append(opts, pardict.WithPrefilter(pardict.PrefilterScalar))
+	case "auto":
+		opts = append(opts, pardict.WithPrefilter(pardict.PrefilterAuto))
+	default:
+		log.Fatalf("unknown prefilter mode %q", *prefilt)
 	}
 	if *collapse > 0 {
 		opts = append(opts, pardict.WithCollapse(*collapse))

@@ -25,8 +25,9 @@ func randTextWithPlants(rng *rand.Rand, patterns [][]byte, n, plants int) []byte
 
 // TestPrefilterOutputEquivalence: the prefilter is an execution-layer
 // optimization — pattern output AND the counted Work/Depth stats must be
-// byte-identical with and without it. Not parallel: obs.SetEnabled is
-// process-global elsewhere in the suite.
+// byte-identical with it off, with the scalar screen, and with the wide-lane
+// screen. Not parallel: obs.SetEnabled is process-global elsewhere in the
+// suite.
 func TestPrefilterOutputEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	var patterns [][]byte
@@ -41,41 +42,46 @@ func TestPrefilterOutputEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	filtered, err := NewMatcher(patterns, WithEngine(EngineGeneral), WithPrefilter(PrefilterOn))
-	if err != nil {
-		t.Fatal(err)
+	filtered := map[string]*Matcher{}
+	for name, mode := range map[string]PrefilterMode{"wide": PrefilterOn, "scalar": PrefilterScalar} {
+		filtered[name], err = NewMatcher(patterns, WithEngine(EngineGeneral), WithPrefilter(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	for trial := 0; trial < 8; trial++ {
 		text := randTextWithPlants(rng, patterns, 500+rng.Intn(3000), 12)
 		a := plain.Match(text)
-		b := filtered.Match(text)
-		if a.Len() != b.Len() {
-			t.Fatalf("length mismatch: %d vs %d", a.Len(), b.Len())
-		}
-		for i := 0; i < a.Len(); i++ {
-			pa, oka := a.Longest(i)
-			pb, okb := b.Longest(i)
-			if pa != pb || oka != okb {
-				t.Fatalf("trial %d pos %d: longest %d,%v (plain) vs %d,%v (filtered)",
-					trial, i, pa, oka, pb, okb)
-			}
-			if oka {
-				la := a.All(i, nil)
-				lb := b.All(i, nil)
-				if len(la) != len(lb) {
-					t.Fatalf("pos %d: all-matches %v vs %v", i, la, lb)
-				}
-			}
-		}
-		if as, bs := a.Stats(), b.Stats(); as.Work != bs.Work || as.Depth != bs.Depth {
-			t.Fatalf("trial %d: prefilter changed counted cost: %+v vs %+v", trial, as, bs)
-		}
 		if _, ok := a.PrefixLen(0); !ok {
 			t.Fatal("unfiltered general matcher must report PrefixLen")
 		}
-		if _, ok := b.PrefixLen(0); ok {
-			t.Fatal("filtered matcher must withhold PrefixLen")
+		for name, m := range filtered {
+			b := m.Match(text)
+			if a.Len() != b.Len() {
+				t.Fatalf("%s: length mismatch: %d vs %d", name, a.Len(), b.Len())
+			}
+			for i := 0; i < a.Len(); i++ {
+				pa, oka := a.Longest(i)
+				pb, okb := b.Longest(i)
+				if pa != pb || oka != okb {
+					t.Fatalf("trial %d pos %d: longest %d,%v (plain) vs %d,%v (%s)",
+						trial, i, pa, oka, pb, okb, name)
+				}
+				if oka {
+					la := a.All(i, nil)
+					lb := b.All(i, nil)
+					if len(la) != len(lb) {
+						t.Fatalf("%s pos %d: all-matches %v vs %v", name, i, la, lb)
+					}
+				}
+			}
+			if as, bs := a.Stats(), b.Stats(); as.Work != bs.Work || as.Depth != bs.Depth {
+				t.Fatalf("trial %d: %s prefilter changed counted cost: %+v vs %+v", trial, name, as, bs)
+			}
+			if _, ok := b.PrefixLen(0); ok {
+				t.Fatalf("%s-filtered matcher must withhold PrefixLen", name)
+			}
 		}
 	}
 }
@@ -168,7 +174,8 @@ func TestMatchZeroAllocs(t *testing.T) {
 		opts []Option
 	}{
 		{"plain", []Option{WithEngine(EngineGeneral), WithParallelism(1)}},
-		{"prefilter", []Option{WithEngine(EngineGeneral), WithParallelism(1), WithPrefilter(PrefilterOn)}},
+		{"prefilter-wide", []Option{WithEngine(EngineGeneral), WithParallelism(1), WithPrefilter(PrefilterOn)}},
+		{"prefilter-scalar", []Option{WithEngine(EngineGeneral), WithParallelism(1), WithPrefilter(PrefilterScalar)}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			m, err := NewMatcher(patterns, tc.opts...)
@@ -205,7 +212,8 @@ func BenchmarkHotPathMatch(b *testing.B) {
 		opts []Option
 	}{
 		{"plain", []Option{WithEngine(EngineGeneral)}},
-		{"prefilter", []Option{WithEngine(EngineGeneral), WithPrefilter(PrefilterOn)}},
+		{"prefilter-wide", []Option{WithEngine(EngineGeneral), WithPrefilter(PrefilterOn)}},
+		{"prefilter-scalar", []Option{WithEngine(EngineGeneral), WithPrefilter(PrefilterScalar)}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			m, err := NewMatcher(patterns, tc.opts...)

@@ -80,6 +80,12 @@ type Dict struct {
 	// filter, when non-nil, screens text positions before the cascade (see
 	// EnablePrefilter). Execution-layer only: never part of Work/Depth.
 	filter *prefilter.Filter
+	// filterWide selects the wide-lane (8 positions/step, folded 8-bit
+	// bucket) kernel over the scalar SWAR screen. The wide kernel admits a
+	// superset of the scalar survivors (folding merges buckets mod 8), so
+	// it is interchangeable at the output level: both are one-sided, and
+	// the cascade verifies every survivor.
+	filterWide bool
 
 	// Lazily built map-table baseline for the E15 hot-path experiment.
 	mapOnce sync.Once
@@ -93,19 +99,42 @@ type Dict struct {
 // never filtered. Call before sharing the Dict across goroutines.
 func (d *Dict) EnablePrefilter() {
 	d.filter = prefilter.Build(d.patterns)
+	d.filterWide = false
+}
+
+// EnablePrefilterWide is EnablePrefilter selecting the wide-lane kernel:
+// eight text positions screened per step against folded 8-bit bucket masks
+// (prefilter.ScanWordsWide). Output and Work/Depth are identical to the
+// scalar filter — the wide screen passes a superset of the scalar survivors
+// and the cascade rejects every false positive — only wall clock changes.
+func (d *Dict) EnablePrefilterWide() {
+	d.filter = prefilter.Build(d.patterns)
+	d.filterWide = d.filter != nil
 }
 
 // DisablePrefilter removes an installed prefilter.
-func (d *Dict) DisablePrefilter() { d.filter = nil }
+func (d *Dict) DisablePrefilter() {
+	d.filter = nil
+	d.filterWide = false
+}
 
 // Filtered reports whether a prefilter is installed, and if so its estimated
-// pass rate on random byte text (a planning figure for the Auto mode).
+// pass rate on random byte text (a planning figure for the Auto mode). For a
+// wide filter the estimate is that of the folded tables the wide kernel
+// actually consults.
 func (d *Dict) Filtered() (bool, float64) {
 	if d.filter == nil {
 		return false, 1
 	}
+	if d.filterWide {
+		return true, d.filter.EstimatedPassRateWide()
+	}
 	return true, d.filter.EstimatedPassRate()
 }
+
+// FilterWide reports whether the installed prefilter uses the wide-lane
+// kernel.
+func (d *Dict) FilterWide() bool { return d.filter != nil && d.filterWide }
 
 // PatternCount reports the number of patterns.
 func (d *Dict) PatternCount() int { return len(d.patterns) }

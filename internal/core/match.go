@@ -155,7 +155,11 @@ func newMatchState() *matchState {
 		}
 	}
 	ms.scanFn = func(wlo, whi int) {
-		ms.d.filter.ScanWords(ms.syms[0], ms.cand, wlo, whi)
+		if ms.d.filterWide {
+			ms.d.filter.ScanWordsWide(ms.syms[0], ms.cand, wlo, whi)
+		} else {
+			ms.d.filter.ScanWords(ms.syms[0], ms.cand, wlo, whi)
+		}
 	}
 	return ms
 }

@@ -82,6 +82,51 @@ func TestPoolStatsDisabledFreezes(t *testing.T) {
 	}
 }
 
+func TestWorkerChunksSumToChunks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	c := NewCtx(nil, p)
+
+	if got := len(p.WorkerChunks()); got != 4 {
+		t.Fatalf("len(WorkerChunks()) = %d, want pool width 4", got)
+	}
+	for r := 0; r < 20; r++ {
+		c.For(1<<14, func(i int) {})
+	}
+	st := p.Stats()
+	per := p.WorkerChunks()
+	var sum int64
+	for _, n := range per {
+		if n < 0 {
+			t.Fatalf("negative slot count: %v", per)
+		}
+		sum += n
+	}
+	if sum != st.Chunks {
+		t.Fatalf("worker chunks %v sum to %d, want Stats().Chunks = %d", per, sum, st.Chunks)
+	}
+	// Slot 0 is the submitter; it always participates, so after 20 pooled
+	// phases it must have retired something.
+	if per[0] == 0 {
+		t.Fatalf("submitter slot retired no chunks: %v", per)
+	}
+}
+
+func TestWorkerChunksFrozenWhileDisabled(t *testing.T) {
+	defer obs.SetEnabled(true)
+	p := NewPool(4)
+	defer p.Close()
+	c := NewCtx(nil, p)
+
+	obs.SetEnabled(false)
+	c.For(1<<14, func(i int) {})
+	for _, n := range p.WorkerChunks() {
+		if n != 0 {
+			t.Fatalf("slot counts moved while disabled: %v", p.WorkerChunks())
+		}
+	}
+}
+
 func TestPoolStatsQueueOccupancy(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()

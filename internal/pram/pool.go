@@ -62,10 +62,25 @@ type Pool struct {
 	prefScanned atomic.Int64
 	prefSkipped atomic.Int64
 
+	// Per-slot chunk counts (slot 0 aggregates submitting goroutines, slot
+	// w ≥ 1 the w-th pool worker), flushed alongside the aggregate counters
+	// on the way out of participate — once per participant per phase, so the
+	// claim path stays counter-free. Padded so concurrent flushes from
+	// different slots do not share a cache line. The spread across slots is
+	// the scheduler's load-balance figure (see WorkerChunks); the scaling
+	// experiment (benchtab E18) reports it per GOMAXPROCS level.
+	slotChunks []paddedCount
+
 	// phasePool recycles phase descriptors (including their span arrays) so
 	// steady-state submission allocates nothing. See phase.reset for why
 	// recycling is safe with straggling participants.
 	phasePool sync.Pool
+}
+
+// paddedCount is an atomic counter alone on its cache line.
+type paddedCount struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // PoolStats is a point-in-time snapshot of a Pool's scheduler counters. All
@@ -115,6 +130,23 @@ func (p *Pool) Stats() PoolStats {
 	return s
 }
 
+// WorkerChunks snapshots the cumulative chunks retired by each pool slot:
+// index 0 aggregates every submitting goroutine, index w ≥ 1 the w-th
+// long-lived worker. Entries sum to Stats().Chunks. Like the other scheduler
+// counters the slots only advance while the observability layer is enabled;
+// they live outside PoolStats so the snapshot struct stays comparable.
+//
+// The spread across slots is the pool's load-balance figure: under work
+// stealing a healthy pool retires chunks roughly evenly, while a
+// near-serialized phase mix concentrates them on slot 0.
+func (p *Pool) WorkerChunks() []int64 {
+	out := make([]int64, len(p.slotChunks))
+	for i := range p.slotChunks {
+		out[i] = p.slotChunks[i].n.Load()
+	}
+	return out
+}
+
 // NewPool returns a pool of the given width; procs <= 0 selects
 // runtime.GOMAXPROCS(0). The pool starts procs−1 parked workers immediately.
 // Pools returned by NewPool should be Closed when no longer needed; the
@@ -125,6 +157,7 @@ func NewPool(procs int) *Pool {
 	}
 	p := &Pool{procs: procs}
 	p.cond = sync.NewCond(&p.mu)
+	p.slotChunks = make([]paddedCount, procs)
 	for w := 1; w < procs; w++ {
 		go p.worker(w)
 	}
@@ -365,6 +398,7 @@ func (p *Pool) participate(ph *phase, slot int) {
 		if chunks > 0 && track {
 			p.chunks.Add(chunks)
 			p.steals.Add(steals)
+			p.slotChunks[own].n.Add(chunks)
 		}
 	}()
 	for {

@@ -42,6 +42,15 @@ type Filter struct {
 	// selective first (ascending mean acceptance density).
 	constrained []int
 	nbuckets    int
+
+	// Wide-lane (Teddy-proper) tables: an independent 8-bucket screen over
+	// the first wideWindow pattern symbols, consulted by ScanWordsWide.
+	// wideTab[o][b] holds the buckets accepting folded byte b at offset o
+	// (wild bits of buckets whose patterns are shorter than o+1 already
+	// OR-ed in). See wide.go for the construction and the soundness
+	// argument.
+	wideTab  [wideWindow][256]uint8
+	wideWild [wideWindow]uint8
 }
 
 // Build constructs the filter for the encoded patterns. It returns nil when
@@ -130,6 +139,7 @@ func Build(patterns [][]int32) *Filter {
 	for _, s := range sel {
 		f.constrained = append(f.constrained, s.o)
 	}
+	f.buildWide(patterns)
 	return f
 }
 

@@ -1,0 +1,249 @@
+package prefilter
+
+// Wide-lane (Teddy-proper) variant of the prefilter: instead of testing one
+// text position per step against the 64-bit offset-pair bucket masks,
+// ScanWordsWide tests eight positions per step against an independent 8-bucket
+// screen over the first wideWindow pattern symbols, with the per-offset bucket
+// masks packed into the byte lanes of a single uint64.
+//
+// # Bucket structure
+//
+// The scalar filter's buckets (shared rare-offset pairs, up to 36 of them)
+// do not survive lane packing: folding 36 buckets onto 8 bits ORs each
+// bucket's wild set into its bit's constraint at every offset, and with most
+// buckets wild at most offsets the folded rows whitewash to ~all-ones. The
+// wide screen therefore builds its own buckets the way Teddy does: every
+// pattern is hashed by its folded wideWindow-symbol prefix into one of eight
+// buckets, and bucket β's constraint at offset o ∈ [0, wideWindow) is the set
+// of folded bytes its member patterns have at o. Patterns shorter than
+// wideWindow are confined to a reserved bucket whose bits go wild past the
+// pattern end, so short patterns cannot dilute the selectivity of the other
+// seven buckets.
+//
+// # Lane layout
+//
+// For a group of eight consecutive positions j..j+7, lane L (bits 8L..8L+7)
+// holds the live-bucket mask of position j+L. One offset o is applied to the
+// whole group with eight byte-table loads assembled by shifts:
+//
+//	acc &= w[o][T[j+o]] | w[o][T[j+1+o]]<<8 | ... | w[o][T[j+7+o]]<<56
+//
+// A position survives when its lane is nonzero after all wideWindow offsets;
+// the per-lane nonzero test is branch-free SWAR (collapse each byte to its
+// LSB, then gather the eight LSBs with one carry-free multiply — the
+// movemask trick). Groups whose lanes all die early-exit the offset loop.
+//
+// Why this is faster than the scalar loop: the eight loads of a group are
+// independent (memory-level parallelism instead of a serial load→test→branch
+// chain per position), per-position loop-control and survive branches
+// collapse into one whole-group branch, and the tables are 256 B per offset
+// (vs 2 KiB), so the entire screen stays L1-resident.
+//
+// # Soundness
+//
+// The wide screen is one-sided on its own: if some pattern p matches at
+// position j, p's bucket β accepts fold(T[j+o]) = fold(p[o]) at every
+// o < min(len(p), wideWindow) by construction, and is wild at every
+// remaining o, so lane bits for β stay alive and position j survives. False
+// positives (hash collisions, folding, wild bits) are rejected by the
+// cascade, exactly as for the scalar screen. The two screens bucket
+// DIFFERENTLY, so neither survivor set contains the other in general; the
+// differential fuzz target checks each against ground truth (every true
+// match start must survive both) and checks the filtered cascades against
+// the unfiltered oracle, which is the guarantee the engine actually relies
+// on. Words touching the text tail are delegated to the scalar per-position
+// screen, so boundary handling lives in one place.
+//
+// The kernel is pure portable Go (SWAR on uint64 lanes); an amd64 assembly
+// path (PSHUFB nibble lookups as in Hyperscan's Teddy) can slot in behind
+// the same word-level contract and the same oracle without touching callers.
+
+// wideWindow is the prefix length (in symbols) the wide screen constrains.
+// Three offsets push the random-text pass rate to ~(density)³ per bucket
+// while keeping the no-early-exit cost at three gathers per group.
+const wideWindow = 3
+
+// wideShortBucket is the bucket reserved for patterns shorter than
+// wideWindow; its bits go wild past the pattern end.
+const wideShortBucket = 7
+
+const (
+	laneLSB  = 0x0101010101010101 // LSB of every byte lane
+	laneMove = 0x0102040810204080 // gathers byte LSBs into bits 56..63
+)
+
+// buildWide constructs the Teddy-style wide tables. Called by Build after
+// the scalar tables are complete; patterns is non-empty.
+func (f *Filter) buildWide(patterns [][]int32) {
+	for _, p := range patterns {
+		kp := len(p)
+		var b uint32
+		if kp >= wideWindow {
+			kp = wideWindow
+			// FNV-1a over the folded prefix: patterns sharing a folded
+			// prefix land in one bucket and cost no extra row density.
+			h := uint32(2166136261)
+			for o := 0; o < wideWindow; o++ {
+				h = (h ^ uint32(byte(p[o]&255))) * 16777619
+			}
+			b = h % wideShortBucket
+		} else {
+			b = wideShortBucket
+		}
+		bit := uint8(1) << b
+		for o := 0; o < kp; o++ {
+			f.wideTab[o][byte(p[o]&255)] |= bit
+		}
+		for o := kp; o < wideWindow; o++ {
+			f.wideWild[o] |= bit
+		}
+	}
+	for o := 0; o < wideWindow; o++ {
+		if f.wideWild[o] == 0 {
+			continue
+		}
+		for b := 0; b < 256; b++ {
+			f.wideTab[o][b] |= f.wideWild[o]
+		}
+	}
+}
+
+// moveMask8 returns, for a packed group word, one bit per byte lane: bit L is
+// set iff lane L is nonzero. Collapsing each byte to its LSB first keeps the
+// gathering multiply carry-free, so the extracted byte is exact.
+func moveMask8(acc uint64) uint64 {
+	acc |= acc >> 4
+	acc |= acc >> 2
+	acc |= acc >> 1
+	acc &= laneLSB
+	return (acc * laneMove) >> 56
+}
+
+// ScanWordsWide is ScanWords on the wide-lane kernel: bit j%64 of out[j/64]
+// is set iff position j survives the wide screen. It fills whole words, so
+// disjoint word ranges may be computed concurrently. Words touching the text
+// tail fall back to the scalar per-position screen (their bits equal the
+// scalar filter's — sound, and exact at the boundary).
+func (f *Filter) ScanWordsWide(text []int32, out []uint64, wlo, whi int) {
+	n := len(text)
+	t0, t1, t2 := &f.wideTab[0], &f.wideTab[1], &f.wideTab[2]
+	for w := wlo; w < whi; w++ {
+		base := w << 6
+		if base+64+window > n {
+			// Tail word: delegate to the scalar screen (bounds-checked wild
+			// handling, bits past the text cleared).
+			f.scanWordScalar(text, out, w, w+1)
+			continue
+		}
+		var word uint64
+		for g := 0; g < 64; g += 8 {
+			j := base + g
+			// Fold the group's reachable text window (positions j..j+7 at
+			// offsets 0..wideWindow-1 read text[j .. j+8+wideWindow-2]) to
+			// bytes in a fixed-size local once, so the lane gathers below
+			// index registers/L1 with no bounds checks and the int32→byte
+			// fold is paid once, not once per offset.
+			var win [8 + wideWindow - 1]uint8
+			seg := text[j : j+8+wideWindow-1 : j+8+wideWindow-1]
+			for t := range win {
+				win[t] = uint8(seg[t])
+			}
+			acc := uint64(t0[win[0]]) |
+				uint64(t0[win[1]])<<8 |
+				uint64(t0[win[2]])<<16 |
+				uint64(t0[win[3]])<<24 |
+				uint64(t0[win[4]])<<32 |
+				uint64(t0[win[5]])<<40 |
+				uint64(t0[win[6]])<<48 |
+				uint64(t0[win[7]])<<56
+			if acc == 0 {
+				continue
+			}
+			acc &= uint64(t1[win[1]]) |
+				uint64(t1[win[2]])<<8 |
+				uint64(t1[win[3]])<<16 |
+				uint64(t1[win[4]])<<24 |
+				uint64(t1[win[5]])<<32 |
+				uint64(t1[win[6]])<<40 |
+				uint64(t1[win[7]])<<48 |
+				uint64(t1[win[8]])<<56
+			if acc == 0 {
+				continue
+			}
+			acc &= uint64(t2[win[2]]) |
+				uint64(t2[win[3]])<<8 |
+				uint64(t2[win[4]])<<16 |
+				uint64(t2[win[5]])<<24 |
+				uint64(t2[win[6]])<<32 |
+				uint64(t2[win[7]])<<40 |
+				uint64(t2[win[8]])<<48 |
+				uint64(t2[win[9]])<<56
+			if acc != 0 {
+				word |= moveMask8(acc) << uint(g)
+			}
+		}
+		out[w] = word
+	}
+}
+
+// scanWordScalar runs the scalar per-position screen over the words
+// [wlo, whi) — the shared tail path of ScanWordsWide. It is ScanWords
+// restricted to the general (bounds-checked) branch.
+func (f *Filter) scanWordScalar(text []int32, out []uint64, wlo, whi int) {
+	n := len(text)
+	nc := len(f.constrained)
+	for w := wlo; w < whi; w++ {
+		var word uint64
+		base := w << 6
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		for j := base; j < end; j++ {
+			v := ^uint64(0)
+			for i := 0; v != 0 && i < nc; i++ {
+				if o := f.constrained[i]; j+o < n {
+					v &= f.tab[o][byte(text[j+o]&255)]
+				} else {
+					v &= f.wild[o]
+				}
+			}
+			if v != 0 {
+				word |= 1 << uint(j-base)
+			}
+		}
+		out[w] = word
+	}
+}
+
+// EstimatedPassRateWide is EstimatedPassRate for the wide screen's bucket
+// structure: the union bound over the eight buckets of the product of their
+// per-offset acceptance densities. It is the planning figure the Auto
+// prefilter mode consults when selecting the wide kernel.
+func (f *Filter) EstimatedPassRateWide() float64 {
+	total := 0.0
+	for b := 0; b < 8; b++ {
+		bit := uint8(1) << uint(b)
+		used := false
+		p := 1.0
+		for o := 0; o < wideWindow; o++ {
+			accept := 0
+			for c := 0; c < 256; c++ {
+				if f.wideTab[o][c]&bit != 0 {
+					accept++
+				}
+			}
+			if accept > 0 {
+				used = true
+			}
+			p *= float64(accept) / 256
+		}
+		if used {
+			total += p
+		}
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}

@@ -162,7 +162,11 @@ func (m *Matcher) applyPrefilter() {
 	if m.general == nil || m.cfg.prefilter == PrefilterOff {
 		return
 	}
-	m.general.EnablePrefilter()
+	if m.cfg.prefilter == PrefilterScalar {
+		m.general.EnablePrefilter()
+	} else {
+		m.general.EnablePrefilterWide()
+	}
 	if m.cfg.prefilter == PrefilterAuto {
 		if _, rate := m.general.Filtered(); rate > autoPrefilterRate {
 			m.general.DisablePrefilter()

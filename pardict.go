@@ -89,11 +89,23 @@ type PrefilterMode int
 const (
 	// PrefilterOff (the default) never filters; PrefixLen stays available.
 	PrefilterOff PrefilterMode = iota
-	// PrefilterOn always filters on the general engine.
+	// PrefilterOn always filters on the general engine, using the wide-lane
+	// kernel (eight text positions screened per step against an 8-bucket
+	// Teddy-style prefix screen packed into uint64 byte lanes — the
+	// production screen).
 	PrefilterOn
 	// PrefilterAuto filters only when the built filter looks selective
-	// (estimated pass rate on random text below 25%).
+	// (estimated pass rate on random text below 25%, judged on the wide
+	// screen's bucket tables).
 	PrefilterAuto
+	// PrefilterScalar always filters with the scalar SWAR screen (one
+	// position per step against full 64-bit rare-offset bucket masks). The
+	// two screens bucket patterns differently, so neither admits a subset
+	// of the other; the scalar screen is retained as the differential
+	// oracle the wide kernel is tested against, and as the conservative
+	// choice for pattern sets whose prefixes collide badly under the wide
+	// screen's 8-bucket hashing.
+	PrefilterScalar
 )
 
 // String names the mode.
@@ -102,9 +114,11 @@ func (p PrefilterMode) String() string {
 	case PrefilterOff:
 		return "off"
 	case PrefilterOn:
-		return "on"
+		return "wide"
 	case PrefilterAuto:
 		return "auto"
+	case PrefilterScalar:
+		return "scalar"
 	}
 	return fmt.Sprintf("PrefilterMode(%d)", int(p))
 }

@@ -34,6 +34,15 @@ func (p *Pool) Procs() int { return p.p.Procs() }
 // at any time, including while matches are in flight.
 func (p *Pool) Stats() SchedulerStats { return schedulerStatsOf(p.p) }
 
+// WorkerChunks snapshots the cumulative number of grain-sized chunks retired
+// by each pool slot: index 0 aggregates the goroutines that submit phases,
+// index w ≥ 1 the w-th long-lived worker. Entries sum to Stats().Chunks, and
+// their spread is the scheduler's load-balance figure — under work stealing a
+// healthy pool retires chunks roughly evenly across slots. Populated only
+// while the observability layer is enabled (like the other scheduler
+// counters); collection never feeds back into scheduling.
+func (p *Pool) WorkerChunks() []int64 { return p.p.WorkerChunks() }
+
 // Close releases the pool's workers once in-flight operations drain. No
 // operation may be started on a matcher bound to p after Close.
 func (p *Pool) Close() { p.p.Close() }

@@ -1,0 +1,171 @@
+package pardict
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScalingRaceHammer drives every concurrent surface of the library at
+// once — sharded scans against live Insert/Delete/Reconcile churn, a
+// multiplexed StreamServer under multi-stream feeding, and pooled MatchInto
+// reuse on a shared wide-prefiltered matcher — while forcing GOMAXPROCS
+// through the levels the E18 scaling sweep measures. Its job is to hand the
+// race detector the same interleavings the scaling study times; correctness
+// spot-checks (planted patterns must be found) guard against silent
+// short-circuiting. Not parallel: GOMAXPROCS is process-global.
+func TestScalingRaceHammer(t *testing.T) {
+	levels := []int{2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		levels = append(levels, n)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, g := range levels {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", g), func(t *testing.T) {
+			runtime.GOMAXPROCS(g)
+			hammerOnce(t, g)
+		})
+	}
+}
+
+func hammerOnce(t *testing.T, g int) {
+	rng := rand.New(rand.NewSource(int64(1000 + g)))
+	stable := make([][]byte, 16) // never deleted: scans must always find these
+	for i := range stable {
+		p := make([]byte, 5+rng.Intn(10))
+		rng.Read(p)
+		stable[i] = p
+	}
+	churn := make([][]byte, 64) // inserted (and mostly deleted) while scans run
+	for i := range churn {
+		churn[i] = []byte(fmt.Sprintf("churn-%d-%02d-%04d", g, i, rng.Intn(10000)))
+	}
+
+	sharded, err := NewShardedMatcher(WithShards(4), WithParallelism(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	for _, p := range stable {
+		if _, err := sharded.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wide, err := NewMatcher(stable, WithEngine(EngineGeneral),
+		WithPrefilter(PrefilterOn), WithParallelism(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wide.NewStreamServer(WithStreamQueue(1 << 12))
+	defer srv.Close()
+
+	text := make([]byte, 1<<13)
+	rng.Read(text)
+	plantAt := len(text) / 2
+	copy(text[plantAt:], stable[0])
+
+	const iters = 60
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	// Sharded scanners racing the mutator.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r := sharded.Match(text)
+				if _, ok := r.Longest(plantAt); !ok {
+					fail("sharded scanner %d iter %d: planted stable pattern not found", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Dictionary mutator: insert/delete churn plus periodic reconcile.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p := churn[i%len(churn)]
+			if _, err := sharded.Insert(p); err != nil {
+				fail("insert: %v", err)
+				return
+			}
+			if i%3 == 0 {
+				if err := sharded.Delete(p); err != nil {
+					fail("delete: %v", err)
+					return
+				}
+			}
+			if i%7 == 0 {
+				sharded.Reconcile()
+			}
+		}
+	}()
+
+	// Pooled MatchInto reuse on the shared wide-prefiltered matcher.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var dst *Matches
+			defer func() {
+				if dst != nil {
+					dst.Release()
+				}
+			}()
+			for i := 0; i < iters; i++ {
+				dst = wide.MatchInto(dst, text)
+				if _, ok := dst.Longest(plantAt); !ok {
+					fail("pooled scanner %d iter %d: planted pattern not found", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// StreamServer tenants fed concurrently with everything above.
+	var streamHits atomic.Int64
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st, err := srv.Open(func(int64, int) { streamHits.Add(1) })
+			if err != nil {
+				fail("open stream %d: %v", s, err)
+				return
+			}
+			chunk := make([]byte, 512)
+			for i := 0; i < iters; i++ {
+				copy(chunk, text[(i*512)%(len(text)-512):])
+				if i%5 == s%5 {
+					copy(chunk[100:], stable[1])
+				}
+				if err := st.Feed(chunk); err != nil {
+					fail("feed stream %d: %v", s, err)
+					return
+				}
+			}
+			if err := st.Close(); err != nil {
+				fail("close stream %d: %v", s, err)
+			}
+		}(s)
+	}
+
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if streamHits.Load() == 0 {
+		t.Fatal("stream tenants planted patterns but no stream match was emitted")
+	}
+}
