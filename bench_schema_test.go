@@ -66,3 +66,50 @@ func TestBenchSchemaGomaxprocs(t *testing.T) {
 		}
 	}
 }
+
+// TestBenchSchemaLZ lints the E19 table specifically: every row must carry
+// the fields the -lzguard gate keys on — a non-empty "arm" from the fixed
+// three-arm set and a "redundancy" in [0, 1] — so a regenerated BENCH_lz.json
+// can never silently drop the axes the guard compares across.
+func TestBenchSchemaLZ(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_lz.json")
+	if os.IsNotExist(err) {
+		t.Skip("no BENCH_lz.json checked in")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []struct {
+			Arm        string   `json:"arm"`
+			Redundancy *float64 `json:"redundancy"`
+			Hit        string   `json:"hit"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_lz.json: %v", err)
+	}
+	if len(doc.Points) == 0 {
+		t.Fatal("BENCH_lz.json: no points")
+	}
+	arms := map[string]bool{"raw": true, "decompress": true, "compressed": true}
+	sawHighRed := false
+	for i, p := range doc.Points {
+		if !arms[p.Arm] {
+			t.Errorf("points[%d]: arm %q not in {raw, decompress, compressed}", i, p.Arm)
+		}
+		if p.Redundancy == nil {
+			t.Errorf("points[%d]: missing \"redundancy\"", i)
+			continue
+		}
+		if *p.Redundancy < 0 || *p.Redundancy > 1 {
+			t.Errorf("points[%d]: redundancy %v outside [0, 1]", i, *p.Redundancy)
+		}
+		if *p.Redundancy >= 0.9 && p.Hit == "low" {
+			sawHighRed = true
+		}
+	}
+	if !sawHighRed {
+		t.Error("BENCH_lz.json: no redundancy ≥ 0.9 low-hit rows — the -lzguard acceptance cell is missing")
+	}
+}

@@ -3,10 +3,18 @@
 // matches planted at a chosen density. Companion to cmd/dictmatch and the
 // experiments in EXPERIMENTS.md.
 //
+// Besides uniform random text, it generates compressible corpora for the
+// compressed tier: -redundancy dials the fraction of text produced by
+// copying earlier text (0 = incompressible, 0.9 ≈ log-like), and -preset
+// logs|genome emits realistic corpus shapes with the dictionary sampled from
+// the text itself (high hit rate).
+//
 // Usage:
 //
 //	dictgen -patterns 1000 -minlen 4 -maxlen 64 -n 1000000 -alphabet acgt \
 //	        -seed 42 -plant 20 -dict dict.txt -text text.txt
+//	dictgen -redundancy 0.9 -n 1000000 -dict dict.txt -text text.txt
+//	dictgen -preset logs -n 1000000 -dict dict.txt -text text.txt
 package main
 
 import (
@@ -22,21 +30,54 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dictgen: ")
 	var (
-		np       = flag.Int("patterns", 100, "number of patterns")
-		minLen   = flag.Int("minlen", 4, "minimum pattern length")
-		maxLen   = flag.Int("maxlen", 32, "maximum pattern length")
-		n        = flag.Int("n", 1<<20, "text length")
-		alphabet = flag.String("alphabet", "abcdefghijklmnopqrstuvwxyz", "alphabet bytes")
-		seed     = flag.Int64("seed", 1, "random seed")
-		plant    = flag.Int("plant", 10, "planted occurrences per 1000 text positions")
-		dictOut  = flag.String("dict", "dict.txt", "dictionary output file")
-		textOut  = flag.String("text", "text.txt", "text output file")
+		np         = flag.Int("patterns", 100, "number of patterns")
+		minLen     = flag.Int("minlen", 4, "minimum pattern length")
+		maxLen     = flag.Int("maxlen", 32, "maximum pattern length")
+		n          = flag.Int("n", 1<<20, "text length")
+		alphabet   = flag.String("alphabet", "abcdefghijklmnopqrstuvwxyz", "alphabet bytes")
+		seed       = flag.Int64("seed", 1, "random seed")
+		plant      = flag.Int("plant", 10, "planted occurrences per 1000 text positions")
+		redundancy = flag.Float64("redundancy", -1, "0..1: emit a compressible text by copying earlier text at this rate (-1 = uniform random)")
+		preset     = flag.String("preset", "", "logs|genome: realistic compressible corpus; dictionary is sampled from the text")
+		dictOut    = flag.String("dict", "dict.txt", "dictionary output file")
+		textOut    = flag.String("text", "text.txt", "text output file")
 	)
 	flag.Parse()
+	if *redundancy > 1 {
+		log.Fatalf("-redundancy %v out of range [0, 1]", *redundancy)
+	}
 
-	sigma := len(*alphabet)
-	pats := workload.Dictionary(*seed, *np, *minLen, *maxLen, sigma)
-	text := workload.PlantedText(*seed+1, *n, sigma, pats, *plant)
+	var pats [][]byte
+	var text []byte
+	switch {
+	case *preset == "logs" || *preset == "genome":
+		if *preset == "logs" {
+			text = workload.LogsText(*seed+1, *n)
+		} else {
+			text = workload.GenomeText(*seed+1, *n)
+		}
+		pats = workload.SampleDictionary(*seed, text, *np, *minLen, *maxLen)
+		if len(pats) < *np {
+			log.Fatalf("preset %s: only %d distinct patterns of length %d-%d exist in the text; lower -patterns",
+				*preset, len(pats), *minLen, *maxLen)
+		}
+	case *preset != "":
+		log.Fatalf("unknown preset %q (want logs or genome)", *preset)
+	case *redundancy >= 0:
+		sigma := len(*alphabet)
+		text = render(workload.RedundantText(*seed+1, *n, sigma, *redundancy), *alphabet)
+		for _, p := range workload.Dictionary(*seed, *np, *minLen, *maxLen, sigma) {
+			pats = append(pats, render(p, *alphabet))
+		}
+		workload.PlantBytes(*seed+2, text, pats, *plant)
+	default:
+		sigma := len(*alphabet)
+		sp := workload.Dictionary(*seed, *np, *minLen, *maxLen, sigma)
+		text = render(workload.PlantedText(*seed+1, *n, sigma, sp, *plant), *alphabet)
+		for _, p := range sp {
+			pats = append(pats, render(p, *alphabet))
+		}
+	}
 
 	df, err := os.Create(*dictOut)
 	if err != nil {
@@ -44,7 +85,7 @@ func main() {
 	}
 	dw := bufio.NewWriter(df)
 	for _, p := range pats {
-		dw.Write(render(p, *alphabet))
+		dw.Write(p)
 		dw.WriteByte('\n')
 	}
 	if err := dw.Flush(); err != nil {
@@ -59,7 +100,7 @@ func main() {
 		log.Fatal(err)
 	}
 	tw := bufio.NewWriter(tf)
-	tw.Write(render(text, *alphabet))
+	tw.Write(text)
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
 	}
@@ -67,10 +108,12 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("wrote %d patterns to %s and %d bytes of text to %s",
-		len(pats), *dictOut, *n, *textOut)
+		len(pats), *dictOut, len(text), *textOut)
 }
 
-func render(syms []int32, alphabet string) []byte {
+// render maps symbol values (or preset-mode raw bytes already < len(alphabet))
+// through the alphabet.
+func render[T int32 | byte](syms []T, alphabet string) []byte {
 	out := make([]byte, len(syms))
 	for i, v := range syms {
 		out[i] = alphabet[v]

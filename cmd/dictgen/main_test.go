@@ -7,4 +7,8 @@ func TestRender(t *testing.T) {
 	if string(got) != "agca" {
 		t.Fatalf("got %q", got)
 	}
+	gotB := render([]byte{1, 0, 2}, "acg")
+	if string(gotB) != "cag" {
+		t.Fatalf("byte render got %q", gotB)
+	}
 }

@@ -4,15 +4,22 @@
 // stdin. For every text position with a match it prints the position and
 // the longest pattern (or all patterns with -all).
 //
+// With -compress it writes the input as a .lzc compressed container and
+// exits; with -compressed it treats the input as such a container and
+// matches in the compressed domain (same output as matching the decoded
+// text, but scanning only phrase-boundary windows).
+//
 // Usage:
 //
 //	dictmatch -dict patterns.txt [-text input.txt] [-engine auto|general|smallalpha|equallength]
 //	          [-alphabet acgt] [-collapse L] [-procs N] [-prefilter off|wide|scalar|auto]
-//	          [-all] [-stats] [-count]
+//	          [-all] [-stats] [-count] [-compressed] [-compress out.lzc]
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,47 +29,88 @@ import (
 	"pardict"
 )
 
+// errUsage marks a command-line mistake: main exits 2 (flag convention)
+// instead of 1.
+var errUsage = errors.New("usage error")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dictmatch: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, errUsage) {
+			log.Print(err)
+			os.Exit(2)
+		}
+		log.Fatal(err) // one line on stderr, no stack trace
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dictmatch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dictPath = flag.String("dict", "", "file with one pattern per line (required)")
-		textPath = flag.String("text", "", "text file (default stdin)")
-		engine   = flag.String("engine", "auto", "auto|general|smallalpha|equallength")
-		alphabet = flag.String("alphabet", "", "restrict to this byte alphabet (enables smallalpha)")
-		collapse = flag.Int("collapse", 0, "collapse parameter L for smallalpha (0 = auto)")
-		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
-		prefilt  = flag.String("prefilter", "off", "off|wide|scalar|auto: screen text positions before the cascade (general engine)")
-		all      = flag.Bool("all", false, "print all patterns per position, not just the longest")
-		stats    = flag.Bool("stats", false, "print PRAM work/depth statistics")
-		countOn  = flag.Bool("count", false, "print only the number of matching positions")
-		compile  = flag.String("compile", "", "write the compiled dictionary to this file and exit")
-		load     = flag.String("load", "", "read a compiled dictionary instead of -dict")
+		dictPath   = fs.String("dict", "", "file with one pattern per line (required)")
+		textPath   = fs.String("text", "", "text file (default stdin)")
+		engine     = fs.String("engine", "auto", "auto|general|smallalpha|equallength")
+		alphabet   = fs.String("alphabet", "", "restrict to this byte alphabet (enables smallalpha)")
+		collapse   = fs.Int("collapse", 0, "collapse parameter L for smallalpha (0 = auto)")
+		procs      = fs.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
+		prefilt    = fs.String("prefilter", "off", "off|wide|scalar|auto: screen text positions before the cascade (general engine)")
+		all        = fs.Bool("all", false, "print all patterns per position, not just the longest")
+		stats      = fs.Bool("stats", false, "print PRAM work/depth statistics")
+		countOn    = fs.Bool("count", false, "print only the number of matching positions")
+		compile    = fs.String("compile", "", "write the compiled dictionary to this file and exit")
+		load       = fs.String("load", "", "read a compiled dictionary instead of -dict")
+		compressed = fs.Bool("compressed", false, "input is a .lzc container; match in the compressed domain")
+		compress   = fs.String("compress", "", "write the input text as a .lzc container to this file and exit")
 	)
-	flag.Parse()
-	if *dictPath == "" && *load == "" {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
+	if *dictPath == "" && *load == "" && *compress == "" {
+		fs.Usage()
+		return fmt.Errorf("%w: one of -dict, -load, or -compress is required", errUsage)
 	}
 
 	var patterns [][]byte
 	var err error
-	if *dictPath != "" {
+	if *dictPath != "" && *compress == "" {
 		patterns, err = readLines(*dictPath)
 		if err != nil {
-			log.Fatal(err)
+			return describeFileErr(*dictPath, err)
 		}
 	}
 	var text []byte
 	if *compile == "" {
 		if *textPath == "" {
 			text, err = io.ReadAll(os.Stdin)
+			if err != nil {
+				return fmt.Errorf("reading stdin: %v", err)
+			}
 		} else {
 			text, err = os.ReadFile(*textPath)
+			if err != nil {
+				return describeFileErr(*textPath, err)
+			}
 		}
+	}
+
+	if *compress != "" {
+		ct := pardict.Compress(text, pardict.WithParallelism(*procs))
+		f, err := os.Create(*compress)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
+		if err := ct.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "dictmatch: compressed %d bytes to %s (%d phrases, ratio %.2fx)\n",
+			ct.Len(), *compress, ct.Phrases(), ct.Ratio())
+		return nil
 	}
 
 	opts := []pardict.Option{pardict.WithParallelism(*procs)}
@@ -78,7 +126,7 @@ func main() {
 	case "equallength":
 		opts = append(opts, pardict.WithEngine(pardict.EngineEqualLength))
 	default:
-		log.Fatalf("unknown engine %q", *engine)
+		return fmt.Errorf("%w: unknown engine %q", errUsage, *engine)
 	}
 	if *alphabet != "" {
 		opts = append(opts, pardict.WithAlphabet([]byte(*alphabet)))
@@ -92,7 +140,7 @@ func main() {
 	case "auto":
 		opts = append(opts, pardict.WithPrefilter(pardict.PrefilterAuto))
 	default:
-		log.Fatalf("unknown prefilter mode %q", *prefilt)
+		return fmt.Errorf("%w: unknown prefilter mode %q", errUsage, *prefilt)
 	}
 	if *collapse > 0 {
 		opts = append(opts, pardict.WithCollapse(*collapse))
@@ -102,7 +150,7 @@ func main() {
 	if *load != "" {
 		f, ferr := os.Open(*load)
 		if ferr != nil {
-			log.Fatal(ferr)
+			return describeFileErr(*load, ferr)
 		}
 		m, err = pardict.LoadMatcher(f, pardict.WithParallelism(*procs))
 		f.Close()
@@ -110,25 +158,48 @@ func main() {
 		m, err = pardict.NewMatcher(patterns, opts...)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *compile != "" {
 		f, ferr := os.Create(*compile)
 		if ferr != nil {
-			log.Fatal(ferr)
+			return ferr
 		}
 		if err := m.Save(f); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		log.Printf("compiled %d patterns to %s", m.PatternCount(), *compile)
-		return
+		fmt.Fprintf(stderr, "dictmatch: compiled %d patterns to %s\n", m.PatternCount(), *compile)
+		return nil
 	}
-	r := m.Match(text)
 
-	w := bufio.NewWriter(os.Stdout)
+	var r *pardict.Matches
+	n := len(text)
+	if *compressed {
+		name := *textPath
+		if name == "" {
+			name = "stdin"
+		}
+		if !pardict.IsCompressedContainer(text) {
+			return fmt.Errorf("%s: not a .lzc compressed container", name)
+		}
+		ct, err := pardict.LoadCompressedText(bytes.NewReader(text))
+		if err != nil {
+			if errors.Is(err, pardict.ErrCorruptSave) {
+				return fmt.Errorf("%s: compressed container corrupt (bad checksum or truncated)", name)
+			}
+			return err
+		}
+		n = ct.Len()
+		r = m.MatchCompressed(ct)
+	} else {
+		r = m.Match(text)
+	}
+
+	w := bufio.NewWriter(stdout)
 	defer w.Flush()
 	switch {
 	case *countOn:
@@ -150,12 +221,22 @@ func main() {
 	}
 	if *stats {
 		b, s := m.BuildStats(), r.Stats()
-		fmt.Fprintf(os.Stderr, "engine=%s procs=%d\n", m.Engine(), s.Procs)
-		fmt.Fprintf(os.Stderr, "preprocess: work=%d depth=%d (M=%d, m=%d)\n",
+		fmt.Fprintf(stderr, "engine=%s procs=%d\n", m.Engine(), s.Procs)
+		fmt.Fprintf(stderr, "preprocess: work=%d depth=%d (M=%d, m=%d)\n",
 			b.Work, b.Depth, m.Size(), m.MaxLen())
-		fmt.Fprintf(os.Stderr, "match:      work=%d depth=%d (n=%d)\n",
-			s.Work, s.Depth, len(text))
+		fmt.Fprintf(stderr, "match:      work=%d depth=%d (n=%d)\n",
+			s.Work, s.Depth, n)
 	}
+	return nil
+}
+
+// describeFileErr turns the common file failures into the one-line messages
+// the CLI contract promises.
+func describeFileErr(path string, err error) error {
+	if os.IsNotExist(err) {
+		return fmt.Errorf("input file %s does not exist", path)
+	}
+	return err
 }
 
 func readLines(path string) ([][]byte, error) {

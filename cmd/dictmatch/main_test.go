@@ -1,10 +1,140 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// runCLI drives run() with captured output, the way main does.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err = run(args, &out, &errw)
+	return out.String(), errw.String(), err
+}
+
+// TestCLIMissingInputFile pins the one-line-error contract: a nonexistent
+// -text or -dict file yields a clear message, not a stack trace or a raw
+// *PathError dump.
+func TestCLIMissingInputFile(t *testing.T) {
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "d.txt")
+	if err := os.WriteFile(dict, []byte("abc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := runCLI(t, "-dict", dict, "-text", filepath.Join(dir, "missing.txt"))
+	if err == nil {
+		t.Fatal("want error for missing text file")
+	}
+	if !strings.Contains(err.Error(), "does not exist") || !strings.Contains(err.Error(), "missing.txt") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Fatalf("error is not one line: %q", err)
+	}
+
+	_, _, err = runCLI(t, "-dict", filepath.Join(dir, "nodict.txt"), "-text", dict)
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing dict: %v", err)
+	}
+}
+
+// TestCLICorruptContainer pins the second error path: a .lzc container that
+// fails its CRC is reported as a clear one-line corruption message.
+func TestCLICorruptContainer(t *testing.T) {
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "d.txt")
+	text := filepath.Join(dir, "t.txt")
+	lzc := filepath.Join(dir, "t.lzc")
+	if err := os.WriteFile(dict, []byte("abcab\nab\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(text, bytes.Repeat([]byte("abcab"), 2000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "-text", text, "-compress", lzc); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(lzc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x20
+	if err := os.WriteFile(lzc, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = runCLI(t, "-dict", dict, "-text", lzc, "-compressed")
+	if err == nil {
+		t.Fatal("want error for corrupt container")
+	}
+	if !strings.Contains(err.Error(), "corrupt") || strings.Contains(err.Error(), "\n") {
+		t.Fatalf("unhelpful corruption error: %v", err)
+	}
+
+	// A non-container file is also a one-liner, not a checksum complaint.
+	_, _, err = runCLI(t, "-dict", dict, "-text", text, "-compressed")
+	if err == nil || !strings.Contains(err.Error(), "not a .lzc") {
+		t.Fatalf("non-container error: %v", err)
+	}
+}
+
+// TestCLICompressedMatchesRaw pins end-to-end equivalence through the CLI:
+// -compressed output is byte-identical to matching the raw text.
+func TestCLICompressedMatchesRaw(t *testing.T) {
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "d.txt")
+	text := filepath.Join(dir, "t.txt")
+	lzc := filepath.Join(dir, "t.lzc")
+	if err := os.WriteFile(dict, []byte("abcab\nab\nb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corpus := append(bytes.Repeat([]byte("abcabxy"), 3000), []byte("tailabcab")...)
+	if err := os.WriteFile(text, corpus, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, stderr, err := runCLI(t, "-text", text, "-compress", lzc); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(stderr, "compressed") {
+		t.Fatalf("no compression summary: %q", stderr)
+	}
+	raw, _, err := runCLI(t, "-dict", dict, "-text", text, "-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, _, err := runCLI(t, "-dict", dict, "-text", lzc, "-compressed", "-all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != comp {
+		t.Fatal("compressed-domain CLI output differs from raw")
+	}
+	if raw == "" {
+		t.Fatal("no matches printed")
+	}
+}
+
+// TestCLIUsageErrors pins exit-code classification: flag mistakes are
+// errUsage, operational failures are not.
+func TestCLIUsageErrors(t *testing.T) {
+	if _, _, err := runCLI(t); !errors.Is(err, errUsage) {
+		t.Fatalf("no args: %v", err)
+	}
+	dir := t.TempDir()
+	dict := filepath.Join(dir, "d.txt")
+	if err := os.WriteFile(dict, []byte("a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCLI(t, "-dict", dict, "-engine", "bogus"); !errors.Is(err, errUsage) {
+		t.Fatalf("bogus engine: %v", err)
+	}
+	if _, _, err := runCLI(t, "-dict", dict, "-text", filepath.Join(dir, "nope")); errors.Is(err, errUsage) {
+		t.Fatal("missing file misclassified as usage error")
+	}
+}
 
 func TestReadLines(t *testing.T) {
 	dir := t.TempDir()

@@ -271,6 +271,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.HistSnapshot{Bounds: strm.Latency.Bounds, Counts: strm.Latency.Counts,
 			Count: strm.Latency.Count, Sum: strm.Latency.Sum})
 
+	lzs := pardict.ReadLZStats()
+	counter("pardict_lz_phrases_parsed_total", "LZ phrases emitted by Compress.", lzs.Phrases)
+	counter("pardict_lz_windows_scanned_total", "Phrase-boundary window segments scanned by MatchCompressed.", lzs.WindowsScanned)
+	counter("pardict_lz_window_bytes_total", "Positions handed to the engine inside window segments (with lookahead).", lzs.WindowBytes)
+	counter("pardict_lz_interior_translated_total", "Positions resolved by occurrence translation instead of a scan.", lzs.InteriorTranslated)
+	counter("pardict_lz_bytes_skipped_total", "Decoded positions MatchCompressed never scanned.", lzs.BytesSkipped)
+
 	st := s.m.SchedulerStats()
 	counter("pardict_scheduler_phases_total", "Parallel phases issued (including inline short phases).", st.Phases)
 	counter("pardict_scheduler_pooled_phases_total", "Phases fanned out to the worker pool.", st.PooledPhases)

@@ -455,6 +455,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pardict_stream_generation 1",
 		"pardict_stream_events_dropped_total 0",
 		"pardict_stream_latency_seconds_count",
+		"pardict_lz_phrases_parsed_total",
+		"pardict_lz_windows_scanned_total",
+		"pardict_lz_bytes_skipped_total",
 		"pardict_scheduler_phases_total",
 		"pardict_scheduler_steals_total",
 		"pardict_scheduler_parks_total",

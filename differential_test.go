@@ -313,6 +313,83 @@ func TestDifferentialDynamic(t *testing.T) {
 	}
 }
 
+// TestDifferentialMatchCompressed sweeps every engine (with and without the
+// prefilter on the general engine) over redundant variants of the seeded
+// cases and requires MatchCompressed to be byte-identical — Longest, All, and
+// PrefixLen availability — to Match over the decoded text, which in turn is
+// checked against the naive oracle. The texts are built to produce copy
+// phrases that straddle planted patterns, the adversarial shape for the
+// window/translation split.
+func TestDifferentialMatchCompressed(t *testing.T) {
+	for _, c := range diffCases() {
+		c := c
+		t.Run(c.name(), func(t *testing.T) {
+			t.Parallel()
+			ip, pats, _, base := diffInputs(c, 1<<12)
+
+			// Redundant text: the planted base, a shifted slice of itself
+			// (copies start mid-pattern), the base again, and a short
+			// incompressible tail. Phrase boundaries land inside planted
+			// patterns on every repetition.
+			text := append([]byte(nil), base...)
+			text = append(text, base[137:2900]...)
+			text = append(text, base...)
+			text = append(text, workload.Bytes(workload.Text(c.seed+5, 333, c.sigma))...)
+
+			it := make([]int32, len(text))
+			for i, b := range text {
+				it[i] = int32(b)
+			}
+			want := naive.LongestPattern(ip, it)
+
+			engines := diffEngines(c)
+			engines = append(engines, struct {
+				name string
+				opts []Option
+			}{"general-wide", []Option{WithEngine(EngineGeneral), WithPrefilter(PrefilterOn)}})
+
+			ct := Compress(text)
+			if got := ct.Decode(); !bytes.Equal(got, text) {
+				t.Fatal("Compress/Decode round trip mismatch")
+			}
+			for _, eng := range engines {
+				m, err := NewMatcher(pats, eng.opts...)
+				if err != nil {
+					t.Fatalf("%s: %v", eng.name, err)
+				}
+				ref := m.Match(text)
+				r := m.MatchCompressed(ct)
+				if r.Len() != ref.Len() {
+					t.Fatalf("%s: Len %d, want %d", eng.name, r.Len(), ref.Len())
+				}
+				var all, refAll []int
+				for j := range text {
+					p, ok := r.Longest(j)
+					rp, rok := ref.Longest(j)
+					if p != rp || ok != rok {
+						t.Fatalf("%s: pos %d: compressed %d,%v raw %d,%v", eng.name, j, p, ok, rp, rok)
+					}
+					if (want[j] >= 0) != ok || (ok && int32(p) != want[j]) {
+						t.Fatalf("%s: pos %d: got %d,%v oracle wants %d", eng.name, j, p, ok, want[j])
+					}
+					all = r.All(j, all[:0])
+					refAll = ref.All(j, refAll[:0])
+					if len(all) != len(refAll) {
+						t.Fatalf("%s: pos %d: All %d vs %d", eng.name, j, len(all), len(refAll))
+					}
+					pl, plok := r.PrefixLen(j)
+					rpl, rplok := ref.PrefixLen(j)
+					if pl != rpl || plok != rplok {
+						t.Fatalf("%s: pos %d: PrefixLen %d,%v vs %d,%v", eng.name, j, pl, plok, rpl, rplok)
+					}
+				}
+				r.Release()
+				ref.Release()
+			}
+		})
+	}
+}
+
 func equalSyms(a, b []int32) bool {
 	if len(a) != len(b) {
 		return false

@@ -1,0 +1,275 @@
+// Package lz implements the LZ77-style factorization the compressed-domain
+// matching tier (Matcher.MatchCompressed) runs over: a greedy hash-chain
+// parser that factors a text into literal and copy phrases, a flat CSR-style
+// phrase representation (Text), and a checksummed binary container format.
+//
+// The design follows the factorization↔dictionary-matching bridge of
+// Fischer/Gagie/Gawrychowski/Kociumaka ("Approximating LZ77 via Small-Space
+// Multiple-Pattern Matching"): a phrase whose content is a copy of an earlier
+// interval contributes no new matching work beyond its boundary windows,
+// because every pattern occurrence lying strictly inside the copy is a
+// translate of an occurrence inside the source interval. The parser therefore
+// optimizes for long copy phrases, not for minimal encodings: ratios are
+// within a constant of gzip's on redundant inputs, which is all the matching
+// tier needs.
+//
+// Parsing is block-parallel on the caller's pram scheduler: the text is cut
+// into fixed-size blocks, each block is parsed independently with a
+// block-local hash chain (so the factorization is deterministic and
+// independent of the worker count), and the per-block phrase lists are
+// stitched — adjacent literal phrases across a block seam merge into one.
+// Copy sources are absolute offsets into the decoded text and may overlap the
+// phrase they produce (self-extending runs), exactly like LZ77.
+package lz
+
+import (
+	"sync"
+
+	"pardict/internal/obs"
+	"pardict/internal/pram"
+)
+
+const (
+	// MinMatch is the shortest copy the parser emits; shorter repeats cost
+	// more to encode than the literals they replace.
+	MinMatch = 4
+	// blockSize is the parallel parsing grain. It bounds both the match
+	// window (sources are block-local) and the per-worker chain memory, and
+	// it is a constant — never derived from the pool width — so Parse output
+	// is byte-identical at every GOMAXPROCS.
+	blockSize = 1 << 17
+	// hashBits sizes the per-block head table (2^hashBits buckets).
+	hashBits = 15
+	// maxChain bounds the candidates examined per position; greedy parsing
+	// takes the longest match among them.
+	maxChain = 48
+)
+
+// Counters are the pardict_lz_* observability series. Like the prefilter's
+// scanned/skipped counters they are additive instrumentation entirely outside
+// the Work/Depth cost model: nothing reads them back, and disabling the obs
+// layer freezes them without changing any output.
+var (
+	// PhrasesParsed counts phrases emitted by Parse (literals and copies).
+	PhrasesParsed obs.Counter
+	// WindowsScanned counts engine scans issued over phrase-boundary windows
+	// by the compressed matcher.
+	WindowsScanned obs.Counter
+	// WindowBytes counts text positions handed to the engine inside those
+	// windows (including the MaxLen-1 overscan each window needs).
+	WindowBytes obs.Counter
+	// InteriorTranslated counts positions resolved by occurrence translation
+	// from a copy phrase's source interval instead of an engine scan.
+	InteriorTranslated obs.Counter
+	// BytesSkipped counts decoded positions the engine never scanned
+	// (n minus the union of the scan windows).
+	BytesSkipped obs.Counter
+)
+
+// Text is a parsed (factorized) text in flat CSR-style layout: phrase i
+// covers decoded interval [starts[i], starts[i+1]) and is either a literal
+// run (src[i] < 0; its bytes are the next starts[i+1]-starts[i] bytes of
+// lits) or a copy of the earlier interval beginning at src[i]. Copies may
+// overlap their own output (src + len > start), the LZ77 run-length idiom.
+// A Text is immutable after Parse/Load and safe for concurrent use.
+type Text struct {
+	n      int
+	starts []int64 // len z+1; starts[0] = 0, starts[z] = n
+	src    []int64 // len z; -1 for literal phrases
+	lits   []byte  // concatenated literal bytes, in phrase order
+}
+
+// Len reports the decoded length n.
+func (t *Text) Len() int { return t.n }
+
+// Phrases reports z, the number of phrases.
+func (t *Text) Phrases() int { return len(t.src) }
+
+// PhraseBounds returns phrase i's decoded interval [start, end).
+func (t *Text) PhraseBounds(i int) (start, end int) {
+	return int(t.starts[i]), int(t.starts[i+1])
+}
+
+// PhraseSrc returns phrase i's copy source offset, or -1 for a literal.
+func (t *Text) PhraseSrc(i int) int { return int(t.src[i]) }
+
+// phrase is the parser's working representation before CSR flattening.
+type phrase struct {
+	start, length int
+	src           int // -1 = literal
+}
+
+// parseState is the pooled per-block scratch of the hash-chain matcher.
+type parseState struct {
+	head []int32 // bucket -> 1+block-relative position of newest entry; 0 empty
+	prev []int32 // block-relative position -> 1+previous position in chain
+}
+
+var parsePool = sync.Pool{New: func() any {
+	return &parseState{
+		head: make([]int32, 1<<hashBits),
+		prev: make([]int32, blockSize),
+	}
+}}
+
+func getParseState() *parseState {
+	ps := parsePool.Get().(*parseState)
+	clear(ps.head) // prev needs no reset: only chain-reachable entries are read
+	return ps
+}
+
+const hashMul = 2654435761 // Knuth's multiplicative hash constant
+
+func hash4(b []byte) uint32 {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return (v * hashMul) >> (32 - hashBits)
+}
+
+// Parse factorizes text, running the per-block parses as one parallel phase
+// on c's scheduler (work n, depth 1 — the phase charge covers the
+// linear-time hash-chain pass). The result is deterministic: it depends only
+// on text, never on the pool width or scheduling order.
+func Parse(c *pram.Ctx, text []byte) *Text {
+	n := len(text)
+	if n == 0 {
+		return &Text{starts: []int64{0}}
+	}
+	nb := (n + blockSize - 1) / blockSize
+	blocks := make([][]phrase, nb)
+	c.AddWork(int64(n) - int64(nb)) // the For below charges nb; total = n
+	c.For(nb, func(b int) {
+		lo := b * blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		ps := getParseState()
+		blocks[b] = parseBlock(text, lo, hi, ps)
+		parsePool.Put(ps)
+	})
+
+	// Stitch: concatenate the block phrase lists, merging the literal run
+	// that ends one block with the literal run that starts the next.
+	var all []phrase
+	for _, bp := range blocks {
+		for _, p := range bp {
+			if p.src < 0 && len(all) > 0 {
+				last := &all[len(all)-1]
+				if last.src < 0 && last.start+last.length == p.start {
+					last.length += p.length
+					continue
+				}
+			}
+			all = append(all, p)
+		}
+	}
+
+	// Flatten to CSR.
+	t := &Text{
+		n:      n,
+		starts: make([]int64, len(all)+1),
+		src:    make([]int64, len(all)),
+	}
+	litTotal := 0
+	for _, p := range all {
+		if p.src < 0 {
+			litTotal += p.length
+		}
+	}
+	t.lits = make([]byte, 0, litTotal)
+	for i, p := range all {
+		t.starts[i] = int64(p.start)
+		t.src[i] = int64(p.src)
+		if p.src < 0 {
+			t.lits = append(t.lits, text[p.start:p.start+p.length]...)
+		}
+	}
+	t.starts[len(all)] = int64(n)
+	if obs.Enabled() {
+		PhrasesParsed.Add(int64(len(all)))
+	}
+	return t
+}
+
+// parseBlock greedily parses text[lo:hi] with a block-local hash chain.
+// Sources and matches never cross the block bounds, which keeps the parse
+// independent of how blocks are scheduled.
+func parseBlock(text []byte, lo, hi int, ps *parseState) []phrase {
+	var out []phrase
+	insert := func(i int) {
+		if i+MinMatch <= hi {
+			h := hash4(text[i:])
+			ps.prev[i-lo] = ps.head[h]
+			ps.head[h] = int32(i - lo + 1)
+		}
+	}
+	litStart := lo
+	i := lo
+	for i < hi {
+		bestLen, bestSrc := 0, -1
+		if i+MinMatch <= hi {
+			cand := ps.head[hash4(text[i:])]
+			for chain := 0; cand != 0 && chain < maxChain; chain++ {
+				c := lo + int(cand) - 1
+				l := 0
+				max := hi - i
+				for l < max && text[c+l] == text[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestSrc = l, c
+				}
+				cand = ps.prev[c-lo]
+			}
+		}
+		if bestLen >= MinMatch {
+			if i > litStart {
+				out = append(out, phrase{litStart, i - litStart, -1})
+			}
+			out = append(out, phrase{i, bestLen, bestSrc})
+			for end := i + bestLen; i < end; i++ {
+				insert(i)
+			}
+			litStart = i
+		} else {
+			insert(i)
+			i++
+		}
+	}
+	if hi > litStart {
+		out = append(out, phrase{litStart, hi - litStart, -1})
+	}
+	return out
+}
+
+// Decode reconstructs the original text.
+func (t *Text) Decode() []byte {
+	out := make([]byte, t.n)
+	t.DecodeInto(out)
+	return out
+}
+
+// DecodeInto reconstructs the original text into dst, which must have length
+// at least Len(). It is a sequential linear pass: copies with non-overlapping
+// sources use memmove; self-overlapping copies (run-length phrases) expand
+// elementwise.
+func (t *Text) DecodeInto(dst []byte) {
+	lit := 0
+	for i := range t.src {
+		s, e := int(t.starts[i]), int(t.starts[i+1])
+		if t.src[i] < 0 {
+			l := e - s
+			copy(dst[s:e], t.lits[lit:lit+l])
+			lit += l
+			continue
+		}
+		src := int(t.src[i])
+		if src+(e-s) <= s {
+			copy(dst[s:e], dst[src:src+(e-s)])
+		} else {
+			for j := s; j < e; j++ {
+				dst[j] = dst[src+j-s]
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package lz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pardict/internal/pram"
+)
+
+func testCtx(t testing.TB, procs int) *pram.Ctx {
+	t.Helper()
+	return pram.New(procs)
+}
+
+// corpus shapes exercised by most tests: empty, tiny, all-one-byte runs,
+// random (incompressible), repeated blocks, and a block-seam straddler.
+func testCorpora() map[string][]byte {
+	rng := rand.New(rand.NewSource(1))
+	random := make([]byte, 1<<16)
+	rng.Read(random)
+	rep := bytes.Repeat([]byte("the quick brown fox jumped over the lazy dog. "), 4000)
+	big := make([]byte, 3*blockSize+1234)
+	for i := range big {
+		big[i] = byte('a' + (i/977)%4)
+	}
+	return map[string][]byte{
+		"empty":    nil,
+		"tiny":     []byte("abc"),
+		"run":      bytes.Repeat([]byte{'x'}, 100000),
+		"random":   random,
+		"repeated": rep,
+		"seam":     big,
+	}
+}
+
+func TestParseDecodeRoundTrip(t *testing.T) {
+	c := testCtx(t, 4)
+	for name, text := range testCorpora() {
+		ct := Parse(c, text)
+		if ct.Len() != len(text) {
+			t.Fatalf("%s: Len = %d, want %d", name, ct.Len(), len(text))
+		}
+		if got := ct.Decode(); !bytes.Equal(got, text) {
+			t.Fatalf("%s: decode mismatch", name)
+		}
+	}
+}
+
+func TestParseValidPhrases(t *testing.T) {
+	c := testCtx(t, 4)
+	for name, text := range testCorpora() {
+		ct := Parse(c, text)
+		at := 0
+		for i := 0; i < ct.Phrases(); i++ {
+			s, e := ct.PhraseBounds(i)
+			if s != at || e <= s {
+				t.Fatalf("%s: phrase %d bounds [%d,%d) at offset %d", name, i, s, e, at)
+			}
+			if src := ct.PhraseSrc(i); src >= 0 && src >= s {
+				t.Fatalf("%s: phrase %d src %d not before start %d", name, i, src, s)
+			}
+			at = e
+		}
+		if at != len(text) {
+			t.Fatalf("%s: phrases cover %d of %d bytes", name, at, len(text))
+		}
+	}
+}
+
+func TestParseCompressesRedundant(t *testing.T) {
+	c := testCtx(t, 2)
+	text := bytes.Repeat([]byte("0123456789abcdef"), 8192)
+	ct := Parse(c, text)
+	if ratio := float64(len(text)) / float64(ct.EncodedSize()); ratio < 20 {
+		t.Fatalf("ratio %.1f on pure repetition, want ≥ 20", ratio)
+	}
+}
+
+func TestParseOverlapCopies(t *testing.T) {
+	// A long single-byte run must round-trip through self-overlapping copies.
+	c := testCtx(t, 2)
+	text := bytes.Repeat([]byte{'z'}, 5000)
+	ct := Parse(c, text)
+	if ct.Phrases() > 10 {
+		t.Fatalf("run of 5000 parsed into %d phrases", ct.Phrases())
+	}
+	if !bytes.Equal(ct.Decode(), text) {
+		t.Fatal("overlap decode mismatch")
+	}
+}
+
+func TestParseDeterministicAcrossProcs(t *testing.T) {
+	text := []byte(strings.Repeat("GATTACA-", 70000) + "tail straddles the seam")
+	var ref []byte
+	for _, procs := range []int{1, 2, 7} {
+		c := testCtx(t, procs)
+		var buf bytes.Buffer
+		if err := Parse(c, text).Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("parse output differs at procs=%d", procs)
+		}
+	}
+}
+
+func TestParseChargesWork(t *testing.T) {
+	c := testCtx(t, 2)
+	text := make([]byte, 10000)
+	Parse(c, text)
+	if w := c.Work(); w < int64(len(text)) {
+		t.Fatalf("Parse charged work %d, want ≥ %d", w, len(text))
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	c := testCtx(t, 4)
+	for name, text := range testCorpora() {
+		ct := Parse(c, text)
+		var buf bytes.Buffer
+		if err := ct.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		if buf.Len() != ct.EncodedSize() {
+			t.Fatalf("%s: EncodedSize %d, Save wrote %d", name, ct.EncodedSize(), buf.Len())
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !bytes.Equal(got.Decode(), text) {
+			t.Fatalf("%s: container round-trip mismatch", name)
+		}
+	}
+}
+
+func TestContainerRejectsCorruption(t *testing.T) {
+	c := testCtx(t, 2)
+	ct := Parse(c, []byte(strings.Repeat("abcabcabd", 300)))
+	var buf bytes.Buffer
+	if err := ct.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	t.Run("every-byte-flip", func(t *testing.T) {
+		for i := range blob {
+			bad := bytes.Clone(blob)
+			bad[i] ^= 0x40
+			if _, err := Load(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("flip at byte %d accepted", i)
+			}
+		}
+	})
+	t.Run("every-truncation", func(t *testing.T) {
+		for cut := 0; cut < len(blob); cut += 7 {
+			if _, err := Load(bytes.NewReader(blob[:cut])); err == nil {
+				t.Fatalf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("trailing-garbage-ignored", func(t *testing.T) {
+		// Readers stop at the container end; extra bytes are the caller's.
+		if _, err := Load(bytes.NewReader(append(bytes.Clone(blob), 'x'))); err != nil {
+			t.Fatalf("trailing byte broke load: %v", err)
+		}
+	})
+}
+
+func TestContainerRejectsBadStructure(t *testing.T) {
+	// Structurally invalid payloads with *valid* checksums: rebuild the
+	// container around a hand-crafted payload so only parsePayload can
+	// reject it.
+	cases := map[string][]byte{
+		"zero-length-phrase": {2, 1, 0},           // n=2 z=1 phrase len 0
+		"phrase-overrun":     {1, 1, 4},           // n=1, literal len 2
+		"zero-delta-copy":    {4, 1, 9, 0},        // copy with delta 0
+		"delta-before-text":  {8, 2, 8, 9, 5},     // copy source < 0
+		"short-coverage":     {9, 2, 8, 8, 'a'},   // lits for 4, phrases cover 8 of 9
+		"lit-bytes-missing":  {4, 1, 8, 'a', 'b'}, // literal 4, only 2 bytes
+		"z-exceeds-n":        {1, 2, 2, 2},
+		"empty-n-nonzero":    {5, 0},
+	}
+	for name, payload := range cases {
+		blob := containerize(payload)
+		if _, err := Load(bytes.NewReader(blob)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// containerize wraps a raw payload in a valid header + CRC so only
+// parsePayload can reject it.
+func containerize(payload []byte) []byte {
+	var buf bytes.Buffer
+	head := make([]byte, 13)
+	binary.LittleEndian.PutUint32(head[0:], containerMagic)
+	head[4] = containerVersion
+	binary.LittleEndian.PutUint64(head[5:], uint64(len(payload)))
+	buf.Write(head)
+	buf.Write(payload)
+	crc := crc32.NewIEEE()
+	crc.Write(head)
+	crc.Write(payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	buf.Write(tail[:])
+	return buf.Bytes()
+}

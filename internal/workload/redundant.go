@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// This file generates the compressible byte corpora the compressed tier (E19,
+// dictgen -redundancy/-preset, the LZ fuzz seeds) sweeps over. Unlike the
+// symbol-level generators above, these are byte-native: compression operates
+// on bytes, and the dial that matters is the fraction of output produced by
+// copying earlier output (the "redundancy"), which maps directly onto the
+// parser's copy-phrase coverage.
+
+// redundantCopyWindow bounds how far back RedundantText copies reach. It is
+// kept a quarter of the parser's block size so most copy sources land in the
+// same parse block and the greedy factorizer can actually find them.
+const redundantCopyWindow = 1 << 15
+
+// RedundantText returns n bytes over [0, sigma) whose redundancy is dialed by
+// r in [0, 1]: at each emission step the generator copies a 48-447 byte chunk
+// from the recent window with probability r, else emits a short random run.
+// The chunk lengths mimic log-like corpora, where repeats span whole records,
+// not fragments.
+// r=0 is incompressible (pure random); r≥0.9 compresses at roughly the log
+// corpus's ratio. Deterministic in (seed, n, sigma, r).
+func RedundantText(seed int64, n, sigma int, r float64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	boot := 256
+	if boot > n {
+		boot = n
+	}
+	for len(out) < boot {
+		out = append(out, byte(rng.Intn(sigma)))
+	}
+	for len(out) < n {
+		if rng.Float64() < r && len(out) >= 64 {
+			maxBack := len(out)
+			if maxBack > redundantCopyWindow {
+				maxBack = redundantCopyWindow
+			}
+			src := len(out) - (1 + rng.Intn(maxBack))
+			length := 48 + rng.Intn(400)
+			for j := 0; j < length && len(out) < n; j++ {
+				out = append(out, out[src+j]) // self-overlap is fine: out grows
+			}
+		} else {
+			run := 8 + rng.Intn(56)
+			for j := 0; j < run && len(out) < n; j++ {
+				out = append(out, byte(rng.Intn(sigma)))
+			}
+		}
+	}
+	return out
+}
+
+// LogsText returns n bytes of synthetic access-log lines: timestamps advance
+// monotonically, methods/paths/statuses draw from small pools, ids from small
+// ranges — the canonical highly-redundant production corpus.
+func LogsText(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	methods := []string{"GET", "GET", "GET", "POST", "PUT", "DELETE"}
+	paths := []string{"/api/v1/users", "/api/v1/items", "/api/v1/orders", "/healthz", "/metrics", "/login"}
+	statuses := []string{"200", "200", "200", "200", "204", "301", "404", "500"}
+	out := make([]byte, 0, n+128)
+	ts := int64(1700000000)
+	for len(out) < n {
+		ts += int64(rng.Intn(3))
+		out = append(out, fmt.Sprintf("%d %s %s/%d %s %dms agent=probe/%d\n",
+			ts, methods[rng.Intn(len(methods))], paths[rng.Intn(len(paths))],
+			rng.Intn(50), statuses[rng.Intn(len(statuses))], rng.Intn(200),
+			rng.Intn(4))...)
+	}
+	return out[:n]
+}
+
+// GenomeText returns n bytes over the ACGT alphabet built from a pool of
+// repeated motifs with sparse point mutations plus occasional random spacers —
+// the repeat structure (high redundancy, small alphabet) of genomic data.
+func GenomeText(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	const acgt = "ACGT"
+	motifs := make([][]byte, 12)
+	for i := range motifs {
+		m := make([]byte, 50+rng.Intn(350))
+		for j := range m {
+			m[j] = acgt[rng.Intn(4)]
+		}
+		motifs[i] = m
+	}
+	out := make([]byte, 0, n+512)
+	for len(out) < n {
+		if rng.Float64() < 0.85 {
+			m := motifs[rng.Intn(len(motifs))]
+			start := len(out)
+			out = append(out, m...)
+			for k := 0; k < len(m)/150; k++ { // sparse point mutations
+				out[start+rng.Intn(len(m))] = acgt[rng.Intn(4)]
+			}
+		} else {
+			run := 20 + rng.Intn(80)
+			for j := 0; j < run; j++ {
+				out = append(out, acgt[rng.Intn(4)])
+			}
+		}
+	}
+	return out[:n]
+}
+
+// SampleDictionary returns np distinct substrings of text with lengths drawn
+// uniformly from [minLen, maxLen], skipping candidates containing line
+// breaks (patterns travel through newline-delimited CLI files). Sampling from
+// the text itself yields a high-hit-rate dictionary for that text; pair with
+// Dictionary/Bytes for miss-dominated arms. Returns fewer than np patterns
+// only when the text lacks enough distinct substrings.
+func SampleDictionary(seed int64, text []byte, np, minLen, maxLen int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out [][]byte
+	for attempts := 0; len(out) < np && attempts < 200*np; attempts++ {
+		l := minLen
+		if maxLen > minLen {
+			l += rng.Intn(maxLen - minLen + 1)
+		}
+		if l > len(text) || l == 0 {
+			break
+		}
+		at := rng.Intn(len(text) - l + 1)
+		cand := text[at : at+l]
+		if bytes.IndexByte(cand, '\n') >= 0 || bytes.IndexByte(cand, '\r') >= 0 || seen[string(cand)] {
+			continue
+		}
+		seen[string(cand)] = true
+		out = append(out, bytes.Clone(cand))
+	}
+	return out
+}
+
+// PlantBytes copies occurrences of randomly chosen patterns into text in
+// place at roughly perMille occurrences per 1000 positions — the byte-level
+// analogue of PlantedText, used to dial hit rates on compressible corpora
+// without disturbing their phrase structure elsewhere.
+func PlantBytes(seed int64, text []byte, patterns [][]byte, perMille int) {
+	if len(patterns) == 0 || perMille <= 0 || len(text) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plants := len(text) * perMille / 1000
+	for i := 0; i < plants; i++ {
+		p := patterns[rng.Intn(len(patterns))]
+		if len(p) > len(text) || len(p) == 0 {
+			continue
+		}
+		copy(text[rng.Intn(len(text)-len(p)+1):], p)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"pardict/internal/lz"
+	"pardict/internal/pram"
+)
+
+// ratioOf parses with the real factorizer — the property the generators
+// exist to dial is the parser-visible redundancy, so test against it.
+func ratioOf(text []byte) float64 {
+	t := lz.Parse(pram.New(0), text)
+	return float64(len(text)) / float64(t.EncodedSize())
+}
+
+func TestRedundantTextDialsCompressibility(t *testing.T) {
+	const n = 1 << 18
+	r0 := ratioOf(RedundantText(1, n, 256, 0))
+	r5 := ratioOf(RedundantText(1, n, 256, 0.5))
+	r9 := ratioOf(RedundantText(1, n, 256, 0.9))
+	if r0 > 1.1 {
+		t.Fatalf("redundancy 0 compressed %.2fx, want ≈ 1", r0)
+	}
+	if r9 < 3 {
+		t.Fatalf("redundancy 0.9 compressed only %.2fx", r9)
+	}
+	if !(r0 < r5 && r5 < r9) {
+		t.Fatalf("ratios not monotone in redundancy: %.2f, %.2f, %.2f", r0, r5, r9)
+	}
+}
+
+func TestRedundantTextDeterministic(t *testing.T) {
+	a := RedundantText(7, 1<<16, 26, 0.7)
+	b := RedundantText(7, 1<<16, 26, 0.7)
+	if !bytes.Equal(a, b) {
+		t.Fatal("RedundantText not deterministic")
+	}
+	if len(a) != 1<<16 {
+		t.Fatalf("length %d, want %d", len(a), 1<<16)
+	}
+}
+
+func TestLogsTextShape(t *testing.T) {
+	text := LogsText(3, 1<<17)
+	if len(text) != 1<<17 {
+		t.Fatalf("length %d", len(text))
+	}
+	if !bytes.Contains(text, []byte("GET /api")) {
+		t.Fatal("no log lines present")
+	}
+	if r := ratioOf(text); r < 3 {
+		t.Fatalf("logs compressed only %.2fx", r)
+	}
+}
+
+func TestGenomeTextShape(t *testing.T) {
+	text := GenomeText(5, 1<<17)
+	if len(text) != 1<<17 {
+		t.Fatalf("length %d", len(text))
+	}
+	for _, b := range text[:1024] {
+		if bytes.IndexByte([]byte("ACGT"), b) < 0 {
+			t.Fatalf("byte %q outside ACGT", b)
+		}
+	}
+	if r := ratioOf(text); r < 2 {
+		t.Fatalf("genome compressed only %.2fx", r)
+	}
+}
+
+func TestSampleDictionary(t *testing.T) {
+	text := LogsText(11, 1<<16)
+	pats := SampleDictionary(12, text, 32, 4, 12)
+	if len(pats) != 32 {
+		t.Fatalf("got %d patterns, want 32", len(pats))
+	}
+	seen := map[string]bool{}
+	for _, p := range pats {
+		if len(p) < 4 || len(p) > 12 {
+			t.Fatalf("pattern length %d out of range", len(p))
+		}
+		if bytes.IndexByte(p, '\n') >= 0 {
+			t.Fatal("pattern contains newline")
+		}
+		if !bytes.Contains(text, p) {
+			t.Fatalf("sampled pattern %q not in text", p)
+		}
+		if seen[string(p)] {
+			t.Fatalf("duplicate pattern %q", p)
+		}
+		seen[string(p)] = true
+	}
+}
+
+func TestPlantBytes(t *testing.T) {
+	text := RedundantText(2, 1<<14, 4, 0.5)
+	pat := []byte("\xfa\xfb\xfc\xfd") // bytes outside sigma=4: only planted copies occur
+	PlantBytes(9, text, [][]byte{pat}, 20)
+	if !bytes.Contains(text, pat) {
+		t.Fatal("planted pattern absent")
+	}
+}

@@ -1,0 +1,133 @@
+package pardict
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"pardict/internal/lz"
+	"pardict/internal/obs"
+)
+
+// CompressedText is an LZ77-style factorization of a text: a sequence of
+// literal runs and copy-from-earlier phrases in flat CSR layout. It is the
+// input of Matcher.MatchCompressed, which matches directly over the
+// factorization — scanning only phrase-boundary windows and translating
+// interior occurrences of copy phrases from their source intervals — so
+// matching work scales with the compressed size plus output, not the decoded
+// length. A CompressedText is immutable and safe for concurrent use by any
+// number of matchers.
+type CompressedText struct {
+	t *lz.Text
+}
+
+// Compress factorizes text with the greedy block-parallel LZ77 parser.
+// Options select the scheduler (WithParallelism, WithPool); engine- and
+// alphabet-related options are ignored. The factorization is deterministic:
+// it depends only on text, never on the pool width, so Save output is
+// byte-reproducible.
+func Compress(text []byte, opts ...Option) *CompressedText {
+	cfg := buildConfig(opts)
+	ctx := cfg.newCtx()
+	var t *lz.Text
+	obs.Do(nil, func(lctx context.Context) {
+		ctx.SetLabelContext(lctx)
+		t = lz.Parse(ctx, text)
+	}, "engine", "lz", "op", "compress")
+	return &CompressedText{t: t}
+}
+
+// Decode reconstructs the original text.
+func (ct *CompressedText) Decode() []byte { return ct.t.Decode() }
+
+// Len reports the decoded text length n.
+func (ct *CompressedText) Len() int { return ct.t.Len() }
+
+// Phrases reports z, the number of phrases in the factorization.
+func (ct *CompressedText) Phrases() int { return ct.t.Phrases() }
+
+// Ratio reports the compression ratio n / (serialized container size); 1.0
+// or below means the text was incompressible under this parser.
+func (ct *CompressedText) Ratio() float64 {
+	size := ct.t.EncodedSize()
+	if size == 0 {
+		return 0
+	}
+	return float64(ct.t.Len()) / float64(size)
+}
+
+// Save writes the factorization in the .lzc container format: version byte,
+// length-prefixed payload, trailing CRC-32 — the save-format v2 conventions.
+func (ct *CompressedText) Save(w io.Writer) error { return ct.t.Save(w) }
+
+// Load replaces ct's contents with a container read from r. Like LoadMatcher
+// it fails closed: the checksum is verified before the payload is parsed, and
+// any corruption — truncation, a flipped bit, an unknown version byte — is
+// reported as an error wrapping ErrCorruptSave, leaving ct unchanged.
+func (ct *CompressedText) Load(r io.Reader) error {
+	t, err := loadLZ(r)
+	if err != nil {
+		return err
+	}
+	ct.t = t
+	return nil
+}
+
+// IsCompressedContainer reports whether data begins with the .lzc container
+// magic. It is a sniff, not a validation: Load still verifies the checksum.
+// Use it to give "this is not a compressed file" diagnostics instead of
+// reporting corruption on a plain-text input.
+func IsCompressedContainer(data []byte) bool { return lz.Sniff(data) }
+
+// LoadCompressedText reads a .lzc container written by Save. On corruption it
+// returns an error wrapping ErrCorruptSave and no text.
+func LoadCompressedText(r io.Reader) (*CompressedText, error) {
+	t, err := loadLZ(r)
+	if err != nil {
+		return nil, err
+	}
+	return &CompressedText{t: t}, nil
+}
+
+func loadLZ(r io.Reader) (*lz.Text, error) {
+	t, err := lz.Load(r)
+	if err != nil {
+		if errors.Is(err, lz.ErrCorrupt) {
+			return nil, fmt.Errorf("pardict: load compressed text: %w (%w)", ErrCorruptSave, err)
+		}
+		return nil, fmt.Errorf("pardict: load compressed text: %w", err)
+	}
+	return t, nil
+}
+
+// LZStats is a snapshot of the compressed-tier observability counters
+// (the pardict_lz_* series). Like SchedulerStats they are process-wide,
+// monotonic, live outside the Work/Depth cost model, and freeze when the obs
+// layer is disabled.
+type LZStats struct {
+	// Phrases counts phrases emitted by Compress across all calls.
+	Phrases int64
+	// WindowsScanned counts engine scans issued over phrase-boundary window
+	// segments by MatchCompressed.
+	WindowsScanned int64
+	// WindowBytes counts text positions handed to the engine inside those
+	// segments, including the MaxLen-1 lookahead each segment needs.
+	WindowBytes int64
+	// InteriorTranslated counts positions resolved by occurrence translation
+	// from a copy phrase's source interval instead of an engine scan.
+	InteriorTranslated int64
+	// BytesSkipped counts decoded positions the engine never scanned.
+	BytesSkipped int64
+}
+
+// ReadLZStats snapshots the compressed-tier counters.
+func ReadLZStats() LZStats {
+	return LZStats{
+		Phrases:            lz.PhrasesParsed.Load(),
+		WindowsScanned:     lz.WindowsScanned.Load(),
+		WindowBytes:        lz.WindowBytes.Load(),
+		InteriorTranslated: lz.InteriorTranslated.Load(),
+		BytesSkipped:       lz.BytesSkipped.Load(),
+	}
+}
