@@ -67,6 +67,81 @@ func TestBenchSchemaGomaxprocs(t *testing.T) {
 	}
 }
 
+// TestBenchSchemaWritestorm lints the E20 table specifically: every row
+// must carry the axes the -stormguard gate keys on — an "arm" from the
+// fixed four-arm set, a "skew" of uniform/hotshard, and a writer count —
+// and the sweep must retain both skews plus the joined and split arms at
+// the highest writer count, so a regenerated BENCH_writestorm.json can
+// never silently drop the cells the guard ratios compare.
+func TestBenchSchemaWritestorm(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_writestorm.json")
+	if os.IsNotExist(err) {
+		t.Skip("no BENCH_writestorm.json checked in")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Points []struct {
+			Arm        string `json:"arm"`
+			Skew       string `json:"skew"`
+			Writers    int    `json:"writers"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			OracleOK   *bool  `json:"oracle_ok"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_writestorm.json: %v", err)
+	}
+	if len(doc.Points) == 0 {
+		t.Fatal("BENCH_writestorm.json: no points")
+	}
+	arms := map[string]bool{
+		"sharded-joined": true, "sharded-split": true,
+		"sharded-auto": true, "dynamic-rwmutex": true,
+	}
+	maxWriters := 0
+	for _, p := range doc.Points {
+		if p.Writers > maxWriters {
+			maxWriters = p.Writers
+		}
+	}
+	sawSkew := map[string]bool{}
+	sawMaxArm := map[string]bool{}
+	for i, p := range doc.Points {
+		if !arms[p.Arm] {
+			t.Errorf("points[%d]: arm %q not in the fixed arm set", i, p.Arm)
+		}
+		if p.Skew != "uniform" && p.Skew != "hotshard" {
+			t.Errorf("points[%d]: skew %q not in {uniform, hotshard}", i, p.Skew)
+		}
+		if p.Writers < 1 {
+			t.Errorf("points[%d]: writers %d, want ≥ 1", i, p.Writers)
+		}
+		if p.GOMAXPROCS < 1 {
+			t.Errorf("points[%d]: gomaxprocs %d, want ≥ 1", i, p.GOMAXPROCS)
+		}
+		if p.OracleOK == nil {
+			t.Errorf("points[%d]: missing \"oracle_ok\"", i)
+		}
+		sawSkew[p.Skew] = true
+		if p.Writers == maxWriters {
+			sawMaxArm[p.Arm+"/"+p.Skew] = true
+		}
+	}
+	if !sawSkew["uniform"] || !sawSkew["hotshard"] {
+		t.Error("BENCH_writestorm.json: both uniform and hotshard skews are required")
+	}
+	for _, cell := range []string{
+		"sharded-joined/uniform", "sharded-split/uniform",
+		"sharded-joined/hotshard", "sharded-split/hotshard",
+	} {
+		if !sawMaxArm[cell] {
+			t.Errorf("BENCH_writestorm.json: missing %s at the highest writer count — a -stormguard ratio cell", cell)
+		}
+	}
+}
+
 // TestBenchSchemaLZ lints the E19 table specifically: every row must carry
 // the fields the -lzguard gate keys on — a non-empty "arm" from the fixed
 // three-arm set and a "redundancy" in [0, 1] — so a regenerated BENCH_lz.json

@@ -47,6 +47,7 @@ func main() {
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10},
 		{"E11", e11}, {"E12", e12}, {"E13", e13}, {"E14", e14},
 		{"E15", e15}, {"E16", e16}, {"E18", e18}, {"E19", e19},
+		{"E20", e20},
 	}
 	want := map[string]bool{}
 	if *runs != "" {

@@ -19,14 +19,22 @@
 // One invocation measures one offered load; -sweep measures several in
 // sequence and additionally reports the maximum sustainable QPS — the
 // highest offered level the server absorbed (achieved ≥95% of offered) while
-// meeting the SLO. The JSON report goes to -out ("-" = stdout) and a
-// one-line summary per level goes to stderr, ending in "met=true|false" for
-// scripts to grep.
+// meeting the SLO. Latency quantiles are reported overall and per request
+// kind (scan/mutate/stream), since a mutation-heavy mix can hide a slow
+// write path inside a healthy blended p99. The JSON report goes to -out
+// ("-" = stdout) and a one-line summary per level goes to stderr, ending in
+// "met=true|false" for scripts to grep.
+//
+// -preset writestorm reconfigures the mix for E20-style write storms:
+// mutation-dominated traffic (10,85,5), sharper tenant skew (zipf 1.4), and
+// a ring of 4 toggle patterns per tenant so hot tenants hammer the write
+// path with distinct keys. Explicit flags still win over the preset.
 //
 // Usage:
 //
 //	dictload -addr localhost:8844 -qps 200 -duration 10s
 //	dictload -addr localhost:8844 -sweep 100,200,400,800 -out BENCH_load.json
+//	dictload -addr localhost:8844 -preset writestorm -qps 2000
 package main
 
 import (
@@ -65,8 +73,28 @@ func main() {
 		sloObj    = flag.Float64("sloobjective", 0.999, "SLO success-fraction objective")
 		out       = flag.String("out", "-", "JSON report path (- = stdout)")
 		waitReady = flag.Duration("waitready", 0, "poll /healthz this long before starting (0 = no wait)")
+		preset    = flag.String("preset", "", "workload preset: writestorm (mutation-heavy mix for E20)")
 	)
 	flag.Parse()
+
+	ringN := 1
+	switch *preset {
+	case "":
+	case "writestorm":
+		// Preset defaults apply only where the user did not set the flag
+		// explicitly — flag.Visit walks the flags that were actually set.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["mix"] {
+			*mix = "10,85,5"
+		}
+		if !explicit["zipf"] {
+			*zipfS = 1.4
+		}
+		ringN = 4
+	default:
+		log.Fatalf("unknown -preset %q (want writestorm)", *preset)
+	}
 
 	base := "http://" + *addr
 	client := &http.Client{Transport: &http.Transport{
@@ -96,7 +124,7 @@ func main() {
 		}
 	}
 
-	w := newWorkload(*tenants, *zipfS, *textLen, *seed, weights)
+	w := newWorkload(*tenants, *zipfS, *textLen, *seed, weights, ringN)
 	if err := w.seedPatterns(client, base); err != nil {
 		log.Fatal(err)
 	}
@@ -104,6 +132,7 @@ func main() {
 	report := loadReport{
 		Addr:      *addr,
 		NumCPU:    runtime.NumCPU(),
+		Preset:    *preset,
 		Tenants:   *tenants,
 		ZipfS:     *zipfS,
 		Mix:       *mix,
@@ -117,9 +146,9 @@ func main() {
 		res.GOMAXPROCS = runtime.GOMAXPROCS(0)
 		report.Levels = append(report.Levels, res)
 		fmt.Fprintf(os.Stderr,
-			"dictload: qps=%g achieved=%.1f reqs=%d errs=%d p50=%.2fms p99=%.2fms p999=%.2fms burn=%.2f met=%v\n",
+			"dictload: qps=%g achieved=%.1f reqs=%d errs=%d p50=%.2fms p99=%.2fms p999=%.2fms%s burn=%.2f met=%v\n",
 			lv, res.AchievedQPS, res.Requests, res.Errors,
-			res.P50Ms, res.P99Ms, res.P999Ms, res.BurnRate, res.Met)
+			res.P50Ms, res.P99Ms, res.P999Ms, kindSummary(res.Kinds), res.BurnRate, res.Met)
 	}
 
 	// The maximum sustainable load: walking the (ascending) sweep, the last
@@ -153,6 +182,7 @@ func main() {
 type loadReport struct {
 	Addr              string        `json:"addr"`
 	NumCPU            int           `json:"num_cpu"`
+	Preset            string        `json:"preset,omitempty"`
 	Tenants           int           `json:"tenants"`
 	ZipfS             float64       `json:"zipf_s"`
 	Mix               string        `json:"mix"`
@@ -181,6 +211,31 @@ type levelResult struct {
 	BreachFrac  float64 `json:"breach_frac"`
 	BurnRate    float64 `json:"burn_rate"`
 	Met         bool    `json:"met"`
+	// Kinds breaks latency out per request kind; a mutate-heavy mix (e.g.
+	// -preset writestorm) can hide a slow write path inside the blended p99.
+	Kinds []kindResult `json:"kinds"`
+}
+
+type kindResult struct {
+	Kind   string  `json:"kind"` // "scan" | "mutate" | "stream"
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// kindSummary renders the per-kind p99s for the stderr one-liner, e.g.
+// " scan_p99=1.20ms mutate_p99=0.40ms". Kinds with no samples are omitted.
+func kindSummary(kinds []kindResult) string {
+	var b strings.Builder
+	for _, k := range kinds {
+		if k.Count > 0 {
+			fmt.Fprintf(&b, " %s_p99=%.2fms", k.Kind, k.P99Ms)
+		}
+	}
+	return b.String()
 }
 
 // parseMix turns "90,5,5" into scan/mutate/stream weights.
@@ -210,24 +265,26 @@ func parseMix(s string) ([3]int, error) {
 type workload struct {
 	weights [3]int
 	zipf    *rand.Zipf
-	texts   [][]byte // per tenant: scan text with that tenant's patterns planted
-	pats    []string // per tenant: the pattern toggled by mutate requests
-	chunks  [][]byte // per tenant: stream feed chunk
+	texts   [][]byte   // per tenant: scan text with that tenant's patterns planted
+	pats    [][]string // per tenant: ring of patterns toggled by mutate requests
+	chunks  [][]byte   // per tenant: stream feed chunk
 
 	mu      sync.Mutex
 	rng     *rand.Rand
-	streams map[int]string // tenant → open stream id
-	toggled map[int]bool   // tenant → mutate pattern currently inserted
+	streams map[int]string  // tenant → open stream id
+	ringPos []int           // tenant → next mutate ring slot
+	toggled map[string]bool // pattern → currently inserted
 }
 
-func newWorkload(tenants int, zipfS float64, textLen int, seed int64, weights [3]int) *workload {
+func newWorkload(tenants int, zipfS float64, textLen int, seed int64, weights [3]int, ringN int) *workload {
 	rng := rand.New(rand.NewSource(seed))
 	w := &workload{
 		weights: weights,
 		zipf:    rand.NewZipf(rng, zipfS, 1, uint64(tenants-1)),
 		rng:     rng,
 		streams: map[int]string{},
-		toggled: map[int]bool{},
+		ringPos: make([]int, tenants),
+		toggled: map[string]bool{},
 	}
 	for t := 0; t < tenants; t++ {
 		// A tenant's pattern family: distinctive enough not to collide across
@@ -236,7 +293,11 @@ func newWorkload(tenants int, zipfS float64, textLen int, seed int64, weights [3
 		for i := range fam {
 			fam[i] = fmt.Sprintf("tn%dp%d", t, i)
 		}
-		w.pats = append(w.pats, fmt.Sprintf("tn%dtoggle", t))
+		ring := make([]string, ringN)
+		for i := range ring {
+			ring[i] = fmt.Sprintf("tn%dtoggle%d", t, i)
+		}
+		w.pats = append(w.pats, ring)
 		text := make([]byte, textLen)
 		for i := range text {
 			text[i] = byte('a' + rng.Intn(26))
@@ -311,10 +372,12 @@ func (w *workload) do(client *http.Client, base string, tenant, op int) bool {
 		return post(client, base+"/scan?mode=count", "text/plain", w.texts[tenant], http.StatusOK)
 	case opMutate:
 		w.mu.Lock()
-		ins := !w.toggled[tenant]
-		w.toggled[tenant] = ins
+		pat := w.pats[tenant][w.ringPos[tenant]]
+		w.ringPos[tenant] = (w.ringPos[tenant] + 1) % len(w.pats[tenant])
+		ins := !w.toggled[pat]
+		w.toggled[pat] = ins
 		w.mu.Unlock()
-		body, _ := json.Marshal(map[string][]string{"patterns": {w.pats[tenant]}})
+		body, _ := json.Marshal(map[string][]string{"patterns": {pat}})
 		method := http.MethodPost
 		if !ins {
 			method = http.MethodDelete
@@ -400,6 +463,7 @@ func runLevel(client *http.Client, base string, w *workload, qps float64,
 
 	var mu sync.Mutex
 	var lats []time.Duration
+	var kindLats [3][]time.Duration // indexed by opScan/opMutate/opStream
 	var errs, scans, mutates, streams int
 	var firstDone, lastDone time.Time
 
@@ -433,6 +497,7 @@ func runLevel(client *http.Client, base string, w *workload, qps float64,
 				return
 			}
 			lats = append(lats, lat)
+			kindLats[op] = append(kindLats[op], lat)
 			switch op {
 			case opScan:
 				scans++
@@ -457,6 +522,20 @@ func runLevel(client *http.Client, base string, w *workload, qps float64,
 	}
 	res.P50Ms, res.P90Ms, res.P99Ms, res.P999Ms = q(0.50), q(0.90), q(0.99), q(0.999)
 	res.MaxMs = float64(lats[len(lats)-1].Nanoseconds()) / 1e6
+	for op, name := range []string{"scan", "mutate", "stream"} {
+		kl := kindLats[op]
+		kr := kindResult{Kind: name, Count: len(kl)}
+		if len(kl) > 0 {
+			sort.Slice(kl, func(i, j int) bool { return kl[i] < kl[j] })
+			kq := func(p float64) float64 {
+				i := int(p * float64(len(kl)-1))
+				return float64(kl[i].Nanoseconds()) / 1e6
+			}
+			kr.P50Ms, kr.P90Ms, kr.P99Ms, kr.P999Ms = kq(0.50), kq(0.90), kq(0.99), kq(0.999)
+			kr.MaxMs = float64(kl[len(kl)-1].Nanoseconds()) / 1e6
+		}
+		res.Kinds = append(res.Kinds, kr)
+	}
 	if span := lastDone.Sub(firstDone); span > 0 {
 		res.AchievedQPS = float64(len(lats)+errs-1) / span.Seconds()
 	}

@@ -86,6 +86,7 @@ func main() {
 		addr     = flag.String("addr", ":8844", "listen address")
 		shards   = flag.Int("shards", 0, "dictionary partitions (0 = 2×GOMAXPROCS, capped at 32)")
 		procs    = flag.Int("procs", 0, "parallelism (0 = GOMAXPROCS)")
+		wphase   = flag.String("writephase", "joined", "mutation coordination: joined (read-your-writes), auto (switch to per-core logs under write storms), split (force per-core logs)")
 		maxBody  = flag.Int64("maxbody", 16<<20, "maximum request body size in bytes")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request scan deadline (0 = none)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
@@ -105,7 +106,11 @@ func main() {
 	flag.Parse()
 
 	trace.Default.Configure(*traceEvery, *traceN, *traceSpans)
-	m, err := buildMatcher(*dictPath, *loadPath, *procs, *shards)
+	phase, err := pardict.ParseWritePhase(*wphase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := buildMatcher(*dictPath, *loadPath, *procs, *shards, phase)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -157,9 +162,10 @@ func run(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Durat
 // buildMatcher constructs the serving dictionary: seeded from a plain
 // pattern file, from a compiled Save-format file (checksum-verified), or —
 // with neither — empty, to be populated online via /patterns and /reload.
-func buildMatcher(dictPath, loadPath string, procs, shards int) (*pardict.ShardedMatcher, error) {
+func buildMatcher(dictPath, loadPath string, procs, shards int, phase pardict.WritePhase) (*pardict.ShardedMatcher, error) {
 	m, err := pardict.NewShardedMatcher(
-		pardict.WithParallelism(procs), pardict.WithShards(shards))
+		pardict.WithParallelism(procs), pardict.WithShards(shards),
+		pardict.WithWritePhase(phase))
 	if err != nil {
 		return nil, err
 	}

@@ -253,8 +253,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("pardict_shard_rebuild_errors_total", "Background engine recompiles failed.", sst.RebuildErrors)
 	counter("pardict_shard_reconcile_work_total", "Accumulated PRAM work of background rebuilds.", sst.ReconcileWork)
 	counter("pardict_shard_reconcile_depth_total", "Accumulated PRAM depth of background rebuilds.", sst.ReconcileDepth)
+	gm := shard.GlobalMetrics()
 	histogram("pardict_shard_rebuild_seconds", "Wall time per background shard rebuild (process-wide).",
-		shard.GlobalMetrics().RebuildNs)
+		gm.RebuildNs)
+
+	pw.labeled("pardict_shard_write_phase", "gauge",
+		"Mutation-coordination state: requested mode and operating phase (value is always 1).", 1,
+		"mode", sst.WriteMode, "phase", sst.WritePhase)
+	splitNow := int64(0)
+	if sst.WritePhase == "split" {
+		splitNow = 1
+	}
+	gauge("pardict_shard_phase_split", "1 while the split (private-log) write phase is operating.", splitNow)
+	counter("pardict_shard_phase_switches_total", "Joined-split write-phase transitions.", sst.PhaseSwitches)
+	counter("pardict_shard_joined_writes_total", "Mutations through the locked per-shard path.", sst.JoinedWrites)
+	counter("pardict_shard_split_writes_total", "Mutations appended to split-phase private logs.", sst.SplitWrites)
+	gauge("pardict_shard_split_pending_ops", "Private-log records accepted but not yet merged.", sst.SplitPendingOps)
+	counter("pardict_shard_merges_total", "Private-log merge passes completed.", sst.Merges)
+	counter("pardict_shard_merged_ops_total", "Private-log records folded into shard overlays.", sst.MergedOps)
+	histogram("pardict_shard_merge_seconds", "Wall time per private-log merge pass (process-wide).",
+		gm.MergeNs)
 
 	active, gen, strm := s.stream.stats()
 	gauge("pardict_stream_sessions", "Open multiplexed streams.", int64(active))

@@ -450,6 +450,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pardict_shard_rebuilds_total",
 		"pardict_shard_pinned_snapshots 0",
 		"pardict_shard_rebuild_seconds_count",
+		`pardict_shard_write_phase{mode="joined",phase="joined"} 1`,
+		"pardict_shard_phase_split 0",
+		"pardict_shard_phase_switches_total 0",
+		"pardict_shard_joined_writes_total",
+		"pardict_shard_split_writes_total 0",
+		"pardict_shard_split_pending_ops 0",
+		"pardict_shard_merges_total",
+		"pardict_shard_merge_seconds_count",
 		"pardict_stream_sessions 1",
 		"pardict_stream_creates_total 1",
 		"pardict_stream_generation 1",
@@ -524,7 +532,7 @@ func TestBuildMatcherFromFiles(t *testing.T) {
 	if err := os.WriteFile(dictPath, []byte("abc\ndef\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	m, err := buildMatcher(dictPath, "", 1, 2)
+	m, err := buildMatcher(dictPath, "", 1, 2, pardict.WritePhaseJoined)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -537,7 +545,7 @@ func TestBuildMatcherFromFiles(t *testing.T) {
 	if err := os.WriteFile(binPath, saveBody(t, "abc", "def"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	m2, err := buildMatcher("", binPath, 1, 2)
+	m2, err := buildMatcher("", binPath, 1, 2, pardict.WritePhaseJoined)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,7 +554,7 @@ func TestBuildMatcherFromFiles(t *testing.T) {
 		t.Fatalf("loaded patterns = %d", m2.Len())
 	}
 	// No seed at all: start empty, ready for /patterns and /reload.
-	m3, err := buildMatcher("", "", 0, 0)
+	m3, err := buildMatcher("", "", 0, 0, pardict.WritePhaseJoined)
 	if err != nil {
 		t.Fatal(err)
 	}

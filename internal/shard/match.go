@@ -12,11 +12,29 @@ import (
 // snapshot: lens[j] is the longest live pattern length matching at j (0 if
 // none), refs[j] locates it — ≥0 is an index into snapshot.baseEnt, ≤-2
 // encodes the overlay add index -(ref+2), -1 is no match.
+//
+// A clean hit (overlay empty: no pending adds, no pending deletes) skips the
+// refs/lens translation entirely — the base engine's Pat array IS the answer,
+// read through snapshot.baseLen. That is the steady state after reconcile, so
+// fully-reconciled shards pay zero overlay cost per scan.
 type shardHit struct {
-	sn   *snapshot
-	refs []int32
-	lens []int32
-	base *core.Result // retained for AllAt chain walks (nil when base empty)
+	sn    *snapshot
+	clean bool         // base-only snapshot: read h.base.Pat/sn.baseLen directly
+	refs  []int32      // nil when clean
+	lens  []int32      // nil when clean
+	base  *core.Result // retained for AllAt chain walks (nil when base empty)
+}
+
+// lenRefAt returns the per-position longest live length and ref for either
+// representation.
+func (h *shardHit) lenRefAt(j int) (int32, int32) {
+	if h.clean {
+		if p := h.base.Pat[j]; p >= 0 {
+			return h.sn.baseLen[p], p
+		}
+		return 0, -1
+	}
+	return h.lens[j], h.refs[j]
 }
 
 // Result is the merged scatter-gather output for one text: per position the
@@ -121,11 +139,11 @@ func (t *Set) MatchTraced(mk func() *pram.Ctx, enc []int32, tr *trace.T) (*Resul
 			bestLen, bestRef, bestShard := int32(0), int32(-1), int32(-1)
 			for si := range hits {
 				h := &hits[si]
-				if h.lens == nil {
+				if h.sn == nil {
 					continue
 				}
-				if l := h.lens[j]; l > bestLen {
-					bestLen, bestRef, bestShard = l, h.refs[j], int32(si)
+				if l, ref := h.lenRefAt(j); l > bestLen {
+					bestLen, bestRef, bestShard = l, ref, int32(si)
 				}
 			}
 			r.Len[j] = bestLen
@@ -167,6 +185,18 @@ func entryAt(sn *snapshot, ref int32) Entry {
 // fraction of the base cost in steady state.
 func matchSnapshot(c *pram.Ctx, sn *snapshot, enc []int32, tr *trace.T, si int) shardHit {
 	n := len(enc)
+
+	// Fast path: a clean snapshot (no pending adds or deletes — the steady
+	// state after reconcile) needs no translation pass and no refs/lens
+	// allocation; the base result is served as-is at frozen-engine speed.
+	if sn.base != nil && sn.base.PatternCount() > 0 && len(sn.adds) == 0 && len(sn.delBase) == 0 {
+		bsp := tr.StartSpan("shard.base", int64(si))
+		h := shardHit{sn: sn, clean: true}
+		h.base = sn.base.Match(c, enc)
+		bsp.End()
+		return h
+	}
+
 	h := shardHit{sn: sn, refs: make([]int32, n), lens: make([]int32, n)}
 	for j := range h.refs {
 		h.refs[j] = -1
@@ -264,7 +294,7 @@ func (r *Result) AllAt(j int, dst []Hit) []Hit {
 	start := len(dst)
 	for si := range r.hits {
 		h := &r.hits[si]
-		if h.lens == nil {
+		if h.sn == nil {
 			continue
 		}
 		sn := h.sn

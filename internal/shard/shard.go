@@ -50,11 +50,17 @@ var (
 // /metrics). Counters aggregate across every Set in the process; per-Set
 // figures come from Set.Stats.
 var (
-	metSwaps       obs.Counter
-	metRebuilds    obs.Counter
-	metRebuildErrs obs.Counter
-	metPinned      obs.Gauge
-	metRebuildNs   = obs.NewHistogram(obs.ExpBounds(100_000, 4, 12))
+	metSwaps         obs.Counter
+	metRebuilds      obs.Counter
+	metRebuildErrs   obs.Counter
+	metPinned        obs.Gauge
+	metRebuildNs     = obs.NewHistogram(obs.ExpBounds(100_000, 4, 12))
+	metJoinedWrites  obs.Counter
+	metSplitWrites   obs.Counter
+	metMerges        obs.Counter
+	metMergedOps     obs.Counter
+	metPhaseSwitches obs.Counter
+	metMergeNs       = obs.NewHistogram(obs.ExpBounds(10_000, 4, 12))
 )
 
 // Metrics is a snapshot of the process-wide shard counters.
@@ -64,6 +70,12 @@ type Metrics struct {
 	RebuildErrors int64
 	Pinned        int64
 	RebuildNs     obs.HistSnapshot
+	JoinedWrites  int64
+	SplitWrites   int64
+	Merges        int64
+	MergedOps     int64
+	PhaseSwitches int64
+	MergeNs       obs.HistSnapshot
 }
 
 // GlobalMetrics snapshots the process-wide shard observability state.
@@ -74,6 +86,12 @@ func GlobalMetrics() Metrics {
 		RebuildErrors: metRebuildErrs.Load(),
 		Pinned:        metPinned.Load(),
 		RebuildNs:     metRebuildNs.Snapshot(),
+		JoinedWrites:  metJoinedWrites.Load(),
+		SplitWrites:   metSplitWrites.Load(),
+		Merges:        metMerges.Load(),
+		MergedOps:     metMergedOps.Load(),
+		PhaseSwitches: metPhaseSwitches.Load(),
+		MergeNs:       metMergeNs.Snapshot(),
 	}
 }
 
@@ -99,6 +117,7 @@ type op struct {
 type snapshot struct {
 	base     *core.Dict     // compiled general engine over baseEnt (nil ⇔ no base patterns)
 	baseEnt  []Entry        // base patterns, index-aligned with base's pattern ids
+	baseLen  []int32        // encoded length per base entry (shared across derived snapshots)
 	adds     []Entry        // pending inserts, arrival order
 	addsDesc []int32        // indices into adds, longest pattern first (tie: arrival)
 	delBase  map[int32]bool // base indices pending deletion
@@ -194,13 +213,34 @@ type Set struct {
 	minPendingBytes int
 	maxPendingOps   int
 
+	// Phase reconciliation (see phase.go). phaseMu is the epoch barrier:
+	// every mutation holds it for read across its whole critical section, so
+	// a phase transition or log capture (which take it for write) observes no
+	// in-flight writer. mergeMu serializes merges, transitions, Replace and
+	// Close against each other; it is always acquired before phaseMu.
+	phase    atomic.Int32 // phaseJoined | phaseSplit (current operating phase)
+	mode     atomic.Int32 // ModeJoined | ModeAuto | ModeSplit (requested policy)
+	phaseMu  sync.RWMutex
+	mergeMu  sync.Mutex
+	wlogs    []wlogSlot // per-core private logs, split phase only
+	slotMask uint32
+	slotCtr  atomic.Uint32
+	wseq     atomic.Uint64 // global mutation sequence: last writer wins at merge
+	policy   atomic.Pointer[PhasePolicy]
+
 	// Per-set counters (the process-wide ones live at package level).
-	swaps       atomic.Int64
-	rebuilds    atomic.Int64
-	rebuildErrs atomic.Int64
-	reconWork   atomic.Int64
-	reconDepth  atomic.Int64
-	pinned      atomic.Int64
+	swaps         atomic.Int64
+	rebuilds      atomic.Int64
+	rebuildErrs   atomic.Int64
+	reconWork     atomic.Int64
+	reconDepth    atomic.Int64
+	pinned        atomic.Int64
+	joinedWrites  atomic.Int64
+	splitWrites   atomic.Int64
+	splitLogged   atomic.Int64 // split ops appended but not yet merged
+	merges        atomic.Int64
+	mergedOps     atomic.Int64
+	phaseSwitches atomic.Int64
 }
 
 // New returns an empty sharded dictionary with nShards partitions. newCtx
@@ -222,8 +262,10 @@ func New(nShards int, newCtx func() *pram.Ctx) *Set {
 		shards[i] = t.freshShard(nil, nil)
 	}
 	t.shards.Store(&shards)
-	t.wg.Add(1)
+	t.initPhase()
+	t.wg.Add(2)
 	go t.reconciler()
+	go t.phaseLoop()
 	return t
 }
 
@@ -235,16 +277,18 @@ func (t *Set) freshShard(ents []Entry, base *core.Dict) *Shard {
 		liveID:  make(map[string]int32, len(ents)),
 		baseIdx: make(map[string]int32, len(ents)),
 	}
+	lens := make([]int32, len(ents))
 	for i, e := range ents {
 		s.liveID[string(e.Raw)] = e.ID
 		s.baseIdx[string(e.Raw)] = int32(i)
 		s.baseBytes += len(e.Enc)
+		lens[i] = int32(len(e.Enc))
 		if len(e.Enc) > s.maxLen {
 			s.maxLen = len(e.Enc)
 		}
 	}
 	s.liveBytes = s.baseBytes
-	sn := &snapshot{base: base, baseEnt: ents, delBase: map[int32]bool{}}
+	sn := &snapshot{base: base, baseEnt: ents, baseLen: lens, delBase: map[int32]bool{}}
 	sn.sortAdds()
 	s.snap.Store(sn)
 	return s
@@ -269,27 +313,49 @@ func (t *Set) SetGate(fn func()) {
 // Shards reports the partition count.
 func (t *Set) Shards() int { return len(*t.shards.Load()) }
 
-// shardOf routes a pattern to its partition by FNV-1a over the raw bytes.
-func shardOf(raw []byte, n int) int {
+// ShardOf routes a pattern to its partition by FNV-1a over the raw bytes.
+// Exported so adversarial tests and benchmarks can construct key sets that
+// collide on one shard.
+func ShardOf(raw []byte, n int) int {
 	h := fnv.New32a()
 	h.Write(raw)
 	return int(h.Sum32() % uint32(n))
 }
 
-// Insert adds a live pattern and returns its id: an O(1) log append plus an
-// O(pending) overlay refresh, published atomically. The compile cost is paid
-// later, amortized, by the reconciler.
+// Insert adds a live pattern and returns its id. In the joined phase this is
+// an O(1) log append plus an O(pending) overlay refresh under the shard lock,
+// published atomically — visible to every scan that starts after Insert
+// returns. In the split phase it is a lock-striped append to a private log
+// (no shard lock, no overlay refresh, no duplicate check): the coordinator
+// merges last-writer-wins within the staleness bound, and a duplicate insert
+// resolves to a no-op at merge rather than ErrDuplicate here. The compile
+// cost is paid later, amortized, by the reconciler either way.
 func (t *Set) Insert(raw []byte, enc []int32) (int32, error) {
 	if len(enc) == 0 {
 		return 0, ErrEmptyPattern
 	}
+	t.phaseMu.RLock()
+	defer t.phaseMu.RUnlock()
+	// The closed check lives inside the barrier: Close flushes the private
+	// logs under the write side, so a split append that saw closed==false
+	// is always captured by that final flush, never lost.
 	if t.closed.Load() {
 		return 0, ErrClosed
 	}
+	if t.phase.Load() == phaseSplit {
+		id := t.nextID.Add(1) - 1
+		t.logSplit(splitOp{
+			seq: t.wseq.Add(1),
+			e:   Entry{ID: id, Raw: append([]byte(nil), raw...), Enc: enc},
+		})
+		return id, nil
+	}
+	t.joinedWrites.Add(1)
+	metJoinedWrites.Inc()
 	t.wmu.RLock()
 	defer t.wmu.RUnlock()
 	shards := *t.shards.Load()
-	s := shards[shardOf(raw, len(shards))]
+	s := shards[ShardOf(raw, len(shards))]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -308,7 +374,7 @@ func (t *Set) Insert(raw []byte, enc []int32) (int32, error) {
 
 	sn := s.snap.Load()
 	ns := &snapshot{
-		base: sn.base, baseEnt: sn.baseEnt, delBase: sn.delBase,
+		base: sn.base, baseEnt: sn.baseEnt, baseLen: sn.baseLen, delBase: sn.delBase,
 		// Appending to the latest snapshot's adds is safe: writers are
 		// serialized under mu, and a slot beyond an older snapshot's len is
 		// never read through that snapshot.
@@ -323,19 +389,33 @@ func (t *Set) Insert(raw []byte, enc []int32) (int32, error) {
 	return id, nil
 }
 
-// Delete removes a live pattern (by content): an O(1) log append plus an
-// O(pending) overlay refresh, published atomically.
+// Delete removes a live pattern (by content). Joined phase: an O(1) log
+// append plus an O(pending) overlay refresh, published atomically. Split
+// phase: a private-log append with no liveness check — deleting an absent
+// pattern resolves to a no-op at merge rather than ErrNotFound here.
 func (t *Set) Delete(raw []byte, enc []int32) error {
 	if len(enc) == 0 {
 		return ErrEmptyPattern
 	}
+	t.phaseMu.RLock()
+	defer t.phaseMu.RUnlock()
 	if t.closed.Load() {
 		return ErrClosed
 	}
+	if t.phase.Load() == phaseSplit {
+		t.logSplit(splitOp{
+			seq: t.wseq.Add(1),
+			del: true,
+			e:   Entry{ID: -1, Raw: append([]byte(nil), raw...), Enc: enc},
+		})
+		return nil
+	}
+	t.joinedWrites.Add(1)
+	metJoinedWrites.Inc()
 	t.wmu.RLock()
 	defer t.wmu.RUnlock()
 	shards := *t.shards.Load()
-	s := shards[shardOf(raw, len(shards))]
+	s := shards[ShardOf(raw, len(shards))]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -350,7 +430,7 @@ func (t *Set) Delete(raw []byte, enc []int32) error {
 
 	sn := s.snap.Load()
 	ns := &snapshot{
-		base: sn.base, baseEnt: sn.baseEnt,
+		base: sn.base, baseEnt: sn.baseEnt, baseLen: sn.baseLen,
 		pendOps:   sn.pendOps + 1,
 		pendBytes: sn.pendBytes + len(enc),
 		epoch:     sn.epoch,
@@ -384,7 +464,10 @@ func (t *Set) Delete(raw []byte, enc []int32) error {
 // a write completed before Export began is included, a write racing it is
 // included or not atomically. Used to freeze the live set into an immutable
 // engine (e.g. a streaming snapshot) without replaying the mutation history.
+// Split-phase writes still sitting in private logs are flushed first so the
+// export honors the same completed-write guarantee in either phase.
 func (t *Set) Export() [][]byte {
+	t.Flush()
 	t.wmu.RLock()
 	defer t.wmu.RUnlock()
 	var out [][]byte
@@ -398,12 +481,14 @@ func (t *Set) Export() [][]byte {
 	return out
 }
 
-// Has reports whether the pattern is live.
+// Has reports whether the pattern is live. In the split phase the answer may
+// lag private-log appends by the staleness bound (call Flush first for a
+// merged view).
 func (t *Set) Has(raw []byte) bool {
 	t.wmu.RLock()
 	defer t.wmu.RUnlock()
 	shards := *t.shards.Load()
-	s := shards[shardOf(raw, len(shards))]
+	s := shards[ShardOf(raw, len(shards))]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.liveID[string(raw)]
@@ -444,7 +529,9 @@ func (t *Set) reconciler() {
 
 // Reconcile synchronously compiles every shard's pending log into its base
 // (test and admin hook; the steady-state path is the background reconciler).
+// Split-phase private logs are flushed first so nothing is left behind.
 func (t *Set) Reconcile() {
+	t.Flush()
 	for _, s := range *t.shards.Load() {
 		s.mu.Lock()
 		dirty := len(s.pending) > 0
@@ -488,9 +575,11 @@ func (t *Set) rebuild(s *Shard) {
 	}
 	eff = append(eff, sn.adds...)
 	encs := make([][]int32, len(eff))
+	effLen := make([]int32, len(eff))
 	baseBytes := 0
 	for i := range eff {
 		encs[i] = eff[i].Enc
+		effLen[i] = int32(len(eff[i].Enc))
 		baseBytes += len(eff[i].Enc)
 	}
 	c := t.newCtx()
@@ -523,7 +612,7 @@ func (t *Set) rebuild(s *Shard) {
 		}
 	}
 	ns := &snapshot{
-		base: base, baseEnt: eff, adds: adds, delBase: delb,
+		base: base, baseEnt: eff, baseLen: effLen, adds: adds, delBase: delb,
 		pendOps: len(rem), pendBytes: remBytes, epoch: sn.epoch + 1,
 	}
 	ns.sortAdds()
@@ -585,6 +674,13 @@ func (t *Set) Replace(raws [][]byte, encs [][]int32) error {
 	if t.closed.Load() {
 		return ErrClosed
 	}
+	// Serialize against merges and transitions, and fold any split-phase
+	// private logs into the old world first; writes logged during the compile
+	// below raced Replace and merge onto the new shards afterwards, which the
+	// racing-write contract allows.
+	t.mergeMu.Lock()
+	defer t.mergeMu.Unlock()
+	t.flushLocked()
 	nShards := t.Shards()
 	buckets := make([][]Entry, nShards)
 	seen := make(map[string]bool, len(raws))
@@ -598,7 +694,7 @@ func (t *Set) Replace(raws [][]byte, encs [][]int32) error {
 		}
 		seen[key] = true
 		id := t.nextID.Add(1) - 1
-		si := shardOf(raws[i], nShards)
+		si := ShardOf(raws[i], nShards)
 		buckets[si] = append(buckets[si], Entry{ID: id, Raw: append([]byte(nil), raws[i]...), Enc: encs[i]})
 	}
 
@@ -642,12 +738,23 @@ func (t *Set) Replace(raws [][]byte, encs [][]int32) error {
 	return nil
 }
 
-// Close stops the reconciler. In-flight scans finish normally; mutations
-// after Close return ErrClosed.
+// Close stops the reconciler and the phase coordinator. In-flight scans
+// finish normally; mutations after Close return ErrClosed. Split-phase writes
+// that completed before Close are flushed into the shards — the closed flag
+// flips under the same barrier the writers hold for read, so no accepted
+// write is lost.
 func (t *Set) Close() {
+	t.mergeMu.Lock()
+	t.phaseMu.Lock()
 	if t.closed.Swap(true) {
+		t.phaseMu.Unlock()
+		t.mergeMu.Unlock()
 		return
 	}
+	t.applyCaptured(t.captureLocked())
+	t.phase.Store(phaseJoined)
+	t.phaseMu.Unlock()
+	t.mergeMu.Unlock()
 	close(t.quit)
 	t.wg.Wait()
 }
@@ -667,6 +774,16 @@ type Stats struct {
 	ReconcileWork   int64 // PRAM work spent compiling bases off the hot path
 	ReconcileDepth  int64
 	PinnedSnapshots int64 // readers currently inside a scan
+
+	// Phase reconciliation (see phase.go).
+	WritePhase      string // current operating phase: "joined" | "split"
+	WriteMode       string // requested policy: "joined" | "auto" | "split"
+	PhaseSwitches   int64  // joined↔split transitions
+	JoinedWrites    int64  // mutations that took the locked shard path
+	SplitWrites     int64  // mutations appended to private logs
+	SplitPendingOps int64  // private-log ops not yet merged
+	Merges          int64  // private-log merge passes
+	MergedOps       int64  // ops folded in by those passes
 }
 
 // Stats sums the per-shard state under each shard's writer lock (cheap: no
@@ -681,6 +798,14 @@ func (t *Set) Stats() Stats {
 		ReconcileWork:   t.reconWork.Load(),
 		ReconcileDepth:  t.reconDepth.Load(),
 		PinnedSnapshots: t.pinned.Load(),
+		WritePhase:      phaseName(t.phase.Load()),
+		WriteMode:       modeName(t.mode.Load()),
+		PhaseSwitches:   t.phaseSwitches.Load(),
+		JoinedWrites:    t.joinedWrites.Load(),
+		SplitWrites:     t.splitWrites.Load(),
+		SplitPendingOps: t.splitLogged.Load(),
+		Merges:          t.merges.Load(),
+		MergedOps:       t.mergedOps.Load(),
 	}
 	for _, s := range shards {
 		s.mu.Lock()

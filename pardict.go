@@ -134,14 +134,15 @@ type Stats struct {
 }
 
 type config struct {
-	procs     int
-	pool      *Pool // caller-supplied scheduler; nil = process-wide shared pool
-	engine    Engine
-	sigma     []byte // dense alphabet; nil = raw bytes (σ = 256)
-	collapse  int    // L for the small-alphabet engine; 0 = auto
-	binary    bool   // Theorem 5: re-encode symbols in binary first
-	shards    int    // ShardedMatcher partitions; 0 = auto
-	prefilter PrefilterMode
+	procs      int
+	pool       *Pool // caller-supplied scheduler; nil = process-wide shared pool
+	engine     Engine
+	sigma      []byte // dense alphabet; nil = raw bytes (σ = 256)
+	collapse   int    // L for the small-alphabet engine; 0 = auto
+	binary     bool   // Theorem 5: re-encode symbols in binary first
+	shards     int    // ShardedMatcher partitions; 0 = auto
+	prefilter  PrefilterMode
+	writePhase WritePhase // ShardedMatcher mutation coordination; default Joined
 }
 
 // Option configures matcher construction.
@@ -202,6 +203,59 @@ func WithPrefilter(mode PrefilterMode) Option {
 // pool, without multiplying the per-scan engine overhead needlessly.
 func WithShards(s int) Option {
 	return func(c *config) { c.shards = s }
+}
+
+// WritePhase selects how a ShardedMatcher coordinates mutations.
+type WritePhase int
+
+const (
+	// WritePhaseJoined (the default) is the strongly consistent path: every
+	// Insert/Delete takes its shard's lock and publishes before returning, so
+	// the write is visible to every Match that starts afterwards.
+	WritePhaseJoined WritePhase = iota
+	// WritePhaseAuto lets a coordinator watch the mutation rate and switch
+	// between joined and split phases: storms run split, quiet periods rejoin.
+	WritePhaseAuto
+	// WritePhaseSplit forces the split phase: mutations append to per-core
+	// private logs with no shared locks and are merged last-writer-wins within
+	// a bounded staleness window. Insert/Delete become upserts — duplicate
+	// inserts and absent deletes resolve to no-ops at merge instead of
+	// returning ErrDuplicatePattern/ErrPatternNotFound.
+	WritePhaseSplit
+)
+
+// String names the phase ("joined", "auto", "split").
+func (p WritePhase) String() string {
+	switch p {
+	case WritePhaseAuto:
+		return "auto"
+	case WritePhaseSplit:
+		return "split"
+	}
+	return "joined"
+}
+
+// ParseWritePhase maps "joined"/"auto"/"split" to a WritePhase.
+func ParseWritePhase(s string) (WritePhase, error) {
+	switch s {
+	case "joined", "":
+		return WritePhaseJoined, nil
+	case "auto":
+		return WritePhaseAuto, nil
+	case "split":
+		return WritePhaseSplit, nil
+	}
+	return WritePhaseJoined, fmt.Errorf("pardict: unknown write phase %q (want joined, auto, or split)", s)
+}
+
+// WithWritePhase sets a ShardedMatcher's mutation coordination (ignored by
+// the other matcher kinds). The default, WritePhaseJoined, keeps today's
+// read-your-writes guarantee; WritePhaseAuto trades bounded read staleness
+// for lock-free mutation throughput during write storms; WritePhaseSplit
+// forces the storm path. See ShardedMatcher.SetWritePhase to change it at
+// runtime.
+func WithWritePhase(p WritePhase) Option {
+	return func(c *config) { c.writePhase = p }
 }
 
 func buildConfig(opts []Option) *config {

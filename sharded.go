@@ -94,15 +94,44 @@ func NewShardedMatcher(opts ...Option) (*ShardedMatcher, error) {
 		obs.Do(nil, ctx.SetLabelContext, "engine", "sharded", "op", "reconcile")
 		return ctx
 	})
+	if cfg.writePhase != WritePhaseJoined {
+		m.set.SetWritePhaseMode(int32(cfg.writePhase))
+	}
 	return m, nil
 }
+
+// SetWritePhase changes the mutation-coordination mode at runtime (see
+// WithWritePhase). Switching to WritePhaseJoined drains the per-core private
+// logs before returning, so every previously accepted write is visible;
+// switching to WritePhaseSplit routes subsequent mutations to the private
+// logs; WritePhaseAuto hands the decision to the coordinator.
+func (m *ShardedMatcher) SetWritePhase(p WritePhase) {
+	m.set.SetWritePhaseMode(int32(p))
+}
+
+// WritePhaseNow reports the requested mode and the phase currently operating
+// (they differ only under WritePhaseAuto, where the coordinator moves between
+// "joined" and "split" with load).
+func (m *ShardedMatcher) WritePhaseNow() (mode, phase string) {
+	st := m.set.Stats()
+	return st.WriteMode, st.WritePhase
+}
+
+// Flush synchronously merges any split-phase writes still sitting in the
+// per-core private logs into the serving snapshots. A Match that starts after
+// Flush returns observes every mutation that completed before it was called.
+// Cheap no-op in the joined phase or when the logs are empty.
+func (m *ShardedMatcher) Flush() { m.set.Flush() }
 
 // Shards reports the partition count S.
 func (m *ShardedMatcher) Shards() int { return m.set.Shards() }
 
 // Insert adds pattern p and returns its id: an O(1) amortized log append —
-// the engine rebuild it eventually triggers runs off the hot path. The
-// pattern is visible to every Match call that starts after Insert returns.
+// the engine rebuild it eventually triggers runs off the hot path. In the
+// joined phase (the default) the pattern is visible to every Match call that
+// starts after Insert returns. In the split phase (WithWritePhase) the append
+// is lock-free, visibility lags by the merge period, and inserting a
+// duplicate is a silent no-op instead of ErrDuplicatePattern.
 func (m *ShardedMatcher) Insert(p []byte) (PatternID, error) {
 	e, err := m.enc.EncodePattern(p)
 	if err != nil {
@@ -112,8 +141,11 @@ func (m *ShardedMatcher) Insert(p []byte) (PatternID, error) {
 	return PatternID(id), shardErr(err)
 }
 
-// Delete removes pattern p (by content). The removal is visible to every
-// Match call that starts after Delete returns.
+// Delete removes pattern p (by content). In the joined phase (the default)
+// the removal is visible to every Match call that starts after Delete
+// returns. In the split phase the append is lock-free, visibility lags by the
+// merge period, and deleting an absent pattern is a silent no-op instead of
+// ErrPatternNotFound.
 func (m *ShardedMatcher) Delete(p []byte) error {
 	e, err := m.enc.EncodePattern(p)
 	if err != nil {
@@ -206,6 +238,16 @@ type ShardStats struct {
 	// stays comparable to the static engines.
 	ReconcileWork  int64
 	ReconcileDepth int64
+
+	// Phase reconciliation (WithWritePhase).
+	WritePhase      string // operating phase: "joined" | "split"
+	WriteMode       string // requested mode: "joined" | "auto" | "split"
+	PhaseSwitches   int64  // joined↔split transitions
+	JoinedWrites    int64  // mutations through the locked shard path
+	SplitWrites     int64  // mutations through the private logs
+	SplitPendingOps int64  // private-log ops not yet merged
+	Merges          int64  // private-log merge passes
+	MergedOps       int64  // ops folded in by those passes
 }
 
 // Stats summarizes the matcher's current sharding state.
@@ -225,6 +267,14 @@ func (m *ShardedMatcher) Stats() ShardStats {
 		PinnedSnapshots: st.PinnedSnapshots,
 		ReconcileWork:   st.ReconcileWork,
 		ReconcileDepth:  st.ReconcileDepth,
+		WritePhase:      st.WritePhase,
+		WriteMode:       st.WriteMode,
+		PhaseSwitches:   st.PhaseSwitches,
+		JoinedWrites:    st.JoinedWrites,
+		SplitWrites:     st.SplitWrites,
+		SplitPendingOps: st.SplitPendingOps,
+		Merges:          st.Merges,
+		MergedOps:       st.MergedOps,
 	}
 }
 
